@@ -1,0 +1,33 @@
+# Convenience targets for the reproduction repository.
+
+PY ?= python
+
+.PHONY: install test bench bench-full experiments quick-experiments clean
+
+install:
+	pip install -e . || $(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+test-fast:
+	$(PY) -m pytest tests/ -x -q -m "not slow"
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Record-quality bench scale (slow; see EXPERIMENTS.md)
+bench-full:
+	REPRO_BENCH_BUDGET=30000 REPRO_BENCH_SEEDS=1,2 \
+		$(PY) -m pytest benchmarks/ --benchmark-only -s
+
+experiments:
+	$(PY) scripts/run_all_experiments.py --budget 30000 --seeds 1 2 \
+		--out EXPERIMENTS-data.md
+
+quick-experiments:
+	$(PY) scripts/run_all_experiments.py --quick --budget 8000 --seeds 1
+
+clean:
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

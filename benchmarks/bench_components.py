@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the simulator substrates.
+
+Unlike the figure benches (one-shot regenerations), these measure the hot
+paths of the simulator itself with normal pytest-benchmark statistics:
+cache lookups, address decoding, bank/channel timing, scheduling
+decisions, and raw event-engine throughput.  They exist so performance
+regressions in the substrate show up in CI — a pure-Python cycle-level
+simulator lives or dies by these loops.
+"""
+
+from repro.config import DramTimingConfig, DramTopologyConfig, SystemConfig
+from repro.controller.queues import RequestQueues
+from repro.controller.request import MemoryRequest
+from repro.core import make_policy
+from repro.core.policy import SchedulingContext
+from repro.dram.address import AddressMapper
+from repro.dram.dram_system import DramSystem
+from repro.cache.cache import SetAssocCache
+from repro.sim.engine import EventEngine
+from repro.util.rng import RngStream
+
+
+def test_cache_lookup_throughput(benchmark):
+    cache = SetAssocCache(SystemConfig().caches.l1d)
+    addrs = [(i * 2654435761) % (1 << 24) for i in range(4096)]
+    for a in addrs[::4]:
+        cache.fill(a)
+
+    def work():
+        for a in addrs:
+            cache.lookup(a)
+
+    benchmark(work)
+
+
+def test_address_decode_throughput(benchmark):
+    mapper = AddressMapper(DramTopologyConfig(), 64)
+    addrs = [i * 64 for i in range(4096)]
+    benchmark(lambda: [mapper.decode(a) for a in addrs])
+
+
+def test_channel_execute_throughput(benchmark):
+    dram = DramSystem(DramTopologyConfig(), DramTimingConfig(), 64)
+    coords = [dram.coord(i * 64) for i in range(1024)]
+    state = {"now": 0}
+
+    def work():
+        for c in coords:
+            dram.execute(c, state["now"], is_write=False, keep_open=False)
+            state["now"] += 16
+
+    benchmark(work)
+
+
+def test_scheduling_decision_cost(benchmark):
+    """Cost of one ME-LREQ decision over a full 64-entry queue."""
+    dram = DramSystem(DramTopologyConfig(), DramTimingConfig(), 64)
+    queues = RequestQueues(64, 8)
+    for i in range(64):
+        r = MemoryRequest(addr=i * 64 * 3, core_id=i % 8, is_write=False, arrival_cycle=0)
+        r.coord = dram.coord(r.addr)
+        queues.add(r)
+    policy = make_policy("ME-LREQ", me_values=[float(i + 1) for i in range(8)])
+    policy.setup(8, RngStream(0, "b"))
+    ctx = SchedulingContext(0, 0, queues, dram, RngStream(1, "b"))
+    cands = [r for r in queues.reads if r.coord.channel == 0]
+    benchmark(lambda: policy.select_read(cands, ctx))
+
+
+def test_event_engine_throughput(benchmark):
+    def work():
+        e = EventEngine()
+        state = {"n": 0}
+
+        def tick(now):
+            state["n"] += 1
+            if state["n"] < 10_000:
+                e.schedule(now + 1, tick)
+
+        e.schedule(0, tick)
+        e.run()
+        return state["n"]
+
+    assert benchmark(work) == 10_000

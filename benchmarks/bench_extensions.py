@@ -1,0 +1,29 @@
+"""Bench: extension study — paper policies vs contemporaneous schedulers.
+
+Beyond the paper (step-5 work): ME-LREQ and LREQ side by side with fair
+queueing (FQ, Nesbit et al.), stall-time fairness (STFM, Mutlu &
+Moscibroda) and PAR-BS-style batching, plus the paper's proposed online-ME
+variant — same workloads, same metrics.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions_study import (
+    format_extension_study,
+    run_extension_study,
+)
+
+
+def test_extension_study(benchmark, ctx):
+    outcomes = run_once(benchmark, run_extension_study, ctx, num_cores=4)
+    print()
+    print(format_extension_study(outcomes))
+    by_name = {o.policy: o for o in outcomes}
+    assert set(by_name) == {
+        "HF-RF", "LREQ", "ME-LREQ", "ME-LREQ-ONLINE", "FQ", "STFM", "BATCH",
+    }
+    for o in outcomes:
+        assert 0 < o.avg_speedup <= 4
+        assert o.avg_unfairness >= 1.0
+    # the baseline's gain over itself is identically zero
+    assert abs(by_name["HF-RF"].avg_gain_vs_baseline) < 1e-12

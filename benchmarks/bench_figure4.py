@@ -1,0 +1,28 @@
+"""Bench: regenerate paper Figure 4 (memory read latency).
+
+Left panel: average read latency per policy over the 4-core MEM
+workloads.  Right panel: per-core latencies for 4MEM-1 and 4MEM-5.
+Checks the paper's qualitative findings: HF-RF's per-core latencies are
+near-uniform, and a fixed ME priority produces the widest per-core spread
+(starvation of the lowest-priority core).
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure4 import format_figure4, run_figure4
+
+
+def test_figure4(benchmark, ctx):
+    res = run_once(benchmark, run_figure4, ctx)
+    print()
+    print(format_figure4(res))
+    # all latencies positive and plausible
+    for by_policy in res.left.values():
+        for o in by_policy.values():
+            assert o.avg_read_latency > 50
+    # HF-RF treats cores near-uniformly; ME spreads them the most
+    for wl in res.right:
+        hf_spread = res.latency_spread(wl, "HF-RF")
+        me_spread = res.latency_spread(wl, "ME")
+        assert hf_spread < 2.0, "HF-RF should serve cores nearly evenly"
+        assert me_spread >= hf_spread * 0.8

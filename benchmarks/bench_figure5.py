@@ -1,0 +1,21 @@
+"""Bench: regenerate paper Figure 5 (unfairness of scheduling policies).
+
+Unfairness = max/min slowdown over the 4-core MEM workloads.  The paper
+finds ME-LREQ the fairest overall and fixed-ME the least fair of the
+core-aware schemes (uneven fixed allocation).
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure5 import format_figure5, run_figure5
+
+
+def test_figure5(benchmark, ctx):
+    res = run_once(benchmark, run_figure5, ctx)
+    print()
+    print(format_figure5(res))
+    for by_policy in res.cells.values():
+        for o in by_policy.values():
+            assert o.unfairness >= 1.0
+    # dynamic ME-LREQ must be fairer than the fixed-ME scheme on average
+    assert res.avg_unfairness("ME-LREQ") <= res.avg_unfairness("ME") * 1.05

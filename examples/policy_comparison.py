@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Compare all five paper policies across a workload group (mini Figure 2).
+
+Runs HF-RF, ME, RR, LREQ and ME-LREQ on every Table 3 mix of the chosen
+core count and group, printing SMT speedups and the group-average gain of
+each policy over the HF-RF baseline — the numbers Section 5.1 quotes.
+
+Run:  python examples/policy_comparison.py --cores 4 --group MEM
+"""
+
+import argparse
+import time
+
+from repro.experiments import ExperimentContext, run_figure2
+from repro.experiments.figure2 import average_gains, format_figure2
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--cores", type=int, default=4, choices=(2, 4, 8))
+    ap.add_argument("--group", default="MEM", choices=("MEM", "MIX"))
+    ap.add_argument("--budget", type=int, default=30_000)
+    ap.add_argument("--seeds", type=int, nargs="+", default=[1])
+    args = ap.parse_args()
+
+    ctx = ExperimentContext(
+        inst_budget=args.budget,
+        seeds=tuple(args.seeds),
+        profile_budget=max(args.budget // 2, 5_000),
+    )
+    t0 = time.time()
+    rows = run_figure2(ctx, core_counts=(args.cores,), groups=(args.group,))
+    print(format_figure2(rows))
+    gains = average_gains(rows)
+    best = max(
+        (p for (_, _, p) in gains if p != "HF-RF"),
+        key=lambda p: gains[(args.cores, args.group, p)],
+    )
+    print(f"\nbest policy vs HF-RF on {args.cores}-core {args.group}: {best}")
+    print(f"({time.time() - t0:.1f}s)")
+
+
+if __name__ == "__main__":
+    main()

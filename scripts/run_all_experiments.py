@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Regenerate every paper experiment and emit the EXPERIMENTS.md tables.
+
+This is the record-keeping companion of the benchmark harness: it runs
+Table 2 and Figures 2-5 (plus the ablations) at the documented budget and
+prints a markdown report of paper-vs-measured values to stdout.
+
+Usage:
+    python scripts/run_all_experiments.py [--budget 30000] [--seeds 1 2 3]
+        [--out EXPERIMENTS-data.md] [--skip-ablations] [--quick]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentContext,
+    ablation_lookahead,
+    ablation_page_policy,
+    ablation_table_bits,
+    ablation_write_drain,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_table2,
+)
+from repro.experiments.figure2 import average_gains
+from repro.experiments.figure3 import spread
+from repro.experiments.harness import mean
+from repro.experiments.table2 import rank_correlation
+
+POLICIES = ("HF-RF", "ME", "RR", "LREQ", "ME-LREQ")
+
+
+def md_table(headers, rows):
+    out = ["| " + " | ".join(headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for r in rows:
+        out.append("| " + " | ".join(str(x) for x in r) + " |")
+    return "\n".join(out)
+
+
+def section_table2(ctx, out):
+    t0 = time.time()
+    rows = run_table2(ctx)
+    out.append("## Table 2 — application class and memory efficiency\n")
+    out.append(
+        md_table(
+            ["app", "code", "class", "paper ME", "measured ME", "IPC", "BW GB/s"],
+            [
+                (r.app, r.code, r.klass, f"{r.paper_me:.0f}",
+                 f"{r.measured_me:.3f}", f"{r.measured_ipc:.2f}",
+                 f"{r.measured_bw_gbps:.3f}")
+                for r in sorted(rows, key=lambda x: x.code)
+            ],
+        )
+    )
+    rho = rank_correlation(rows)
+    out.append(f"\nSpearman rank correlation vs the published ME values: "
+               f"**{rho:.3f}** ({time.time()-t0:.0f}s)\n")
+
+
+def section_figure2(ctx, out, core_counts, groups):
+    t0 = time.time()
+    rows = run_figure2(ctx, core_counts=core_counts, groups=groups)
+    out.append("## Figure 2 — SMT speedup of the five policies\n")
+    current = None
+    for r in rows:
+        key = (r.num_cores, r.group)
+        if key != current:
+            current = key
+            out.append(f"\n### {r.num_cores}-core {r.group}\n")
+            out.append("| workload | " + " | ".join(POLICIES) + " |")
+            out.append("|" + "|".join("---" for _ in range(len(POLICIES) + 1)) + "|")
+        out.append(
+            f"| {r.workload} | "
+            + " | ".join(f"{r.speedup(p):.3f}" for p in POLICIES)
+            + " |"
+        )
+    out.append("\n### Average gain over HF-RF\n")
+    gains = average_gains(rows)
+    out.append("| cores | group | " + " | ".join(POLICIES[1:]) + " |")
+    out.append("|" + "|".join("---" for _ in range(len(POLICIES) + 1)) + "|")
+    seen = sorted({(n, g) for (n, g, _p) in gains})
+    for n, g in seen:
+        out.append(
+            f"| {n} | {g} | "
+            + " | ".join(f"{gains[(n, g, p)]:+.1%}" for p in POLICIES[1:])
+            + " |"
+        )
+    out.append(f"\n({time.time()-t0:.0f}s)\n")
+    return rows
+
+
+def section_figure3(ctx, out):
+    t0 = time.time()
+    rows = run_figure3(ctx, groups=("MEM",))
+    out.append("## Figure 3 — simple fixed-priority schemes (4-core MEM)\n")
+    pols = ("HF-RF", "ME", "FIX-3210", "FIX-0123")
+    out.append(
+        md_table(
+            ["workload"] + list(pols),
+            [
+                (r.workload, *(f"{r.speedup(p):.3f}" for p in pols))
+                for r in rows
+            ],
+        )
+    )
+    for p in pols[1:]:
+        best, worst = spread(rows, p)
+        out.append(f"\n- {p}: best {best:+.1%}, worst {worst:+.1%} vs HF-RF")
+    out.append(f"\n({time.time()-t0:.0f}s)\n")
+
+
+def section_figure4(ctx, out):
+    t0 = time.time()
+    res = run_figure4(ctx)
+    out.append("## Figure 4 — memory read latency (4-core MEM)\n")
+    out.append("### Left: average read latency (cycles)\n")
+    out.append(
+        md_table(
+            ["workload"] + list(POLICIES),
+            [
+                (wl, *(f"{by[p].avg_read_latency:.0f}" for p in POLICIES))
+                for wl, by in res.left.items()
+            ]
+            + [("**average**", *(f"{res.avg_latency(p):.0f}" for p in POLICIES))],
+        )
+    )
+    out.append("\n### Right: per-core read latency (cycles)\n")
+    for wl, by in res.right.items():
+        out.append(f"\n**{wl}**\n")
+        out.append(
+            md_table(
+                ["policy", "core0", "core1", "core2", "core3", "max/min"],
+                [
+                    (p, *(f"{x:.0f}" for x in lats),
+                     f"{res.latency_spread(wl, p):.2f}x")
+                    for p, lats in by.items()
+                ],
+            )
+        )
+    out.append(f"\n({time.time()-t0:.0f}s)\n")
+
+
+def section_figure5(ctx, out):
+    t0 = time.time()
+    res = run_figure5(ctx)
+    out.append("## Figure 5 — unfairness (4-core MEM)\n")
+    out.append(
+        md_table(
+            ["workload"] + list(POLICIES),
+            [
+                (wl, *(f"{by[p].unfairness:.2f}" for p in POLICIES))
+                for wl, by in res.cells.items()
+            ]
+            + [("**average**", *(f"{res.avg_unfairness(p):.2f}" for p in POLICIES))],
+        )
+    )
+    for base in ("HF-RF", "RR", "LREQ"):
+        out.append(
+            f"\n- ME-LREQ unfairness change vs {base}: "
+            f"{-res.reduction_vs('ME-LREQ', base):+.1%} "
+            f"(negative = fairer)"
+        )
+    out.append(f"\n({time.time()-t0:.0f}s)\n")
+
+
+def section_ablations(ctx, out):
+    t0 = time.time()
+    out.append("## Ablations (extensions beyond the paper)\n")
+    for title, res in (
+        ("ME-LREQ priority-table geometry (4MEM-1, SMT speedup)",
+         ablation_table_bits(ctx)),
+        ("Page policy (HF-RF, 4MEM-1, SMT speedup)", ablation_page_policy(ctx)),
+        ("Write-drain watermarks (HF-RF, 4MEM-1, SMT speedup)",
+         ablation_write_drain(ctx)),
+        ("Core-lookahead robustness (HF-RF, 4MEM-1, SMT speedup)",
+         ablation_lookahead(ctx)),
+    ):
+        out.append(f"\n### {title}\n")
+        out.append(md_table(["variant", "value"],
+                            [(k, f"{v:.3f}") for k, v in res.items()]))
+    out.append(f"\n({time.time()-t0:.0f}s)\n")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--budget", type=int, default=30_000)
+    ap.add_argument("--profile-budget", type=int, default=20_000)
+    ap.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    ap.add_argument("--out", help="write the markdown here as well as stdout")
+    ap.add_argument("--skip-ablations", action="store_true")
+    ap.add_argument("--quick", action="store_true",
+                    help="4-core MEM Figure 2 panel only (smoke run)")
+    args = ap.parse_args(argv)
+
+    ctx = ExperimentContext(
+        inst_budget=args.budget,
+        seeds=tuple(args.seeds),
+        profile_budget=args.profile_budget,
+    )
+    out: list[str] = []
+    out.append(
+        f"_Generated by scripts/run_all_experiments.py — budget "
+        f"{args.budget} instructions/core, seeds {args.seeds}._\n"
+    )
+    t0 = time.time()
+    if args.quick:
+        section_figure2(ctx, out, core_counts=(4,), groups=("MEM",))
+    else:
+        section_table2(ctx, out)
+        section_figure2(ctx, out, core_counts=(2, 4, 8), groups=("MEM", "MIX"))
+        section_figure3(ctx, out)
+        section_figure4(ctx, out)
+        section_figure5(ctx, out)
+        if not args.skip_ablations:
+            section_ablations(ctx, out)
+    out.append(f"\n_Total wall time: {time.time()-t0:.0f}s._")
+    text = "\n".join(out)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

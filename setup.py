@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) fail; this shim lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

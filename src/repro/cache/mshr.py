@@ -1,0 +1,86 @@
+"""Miss-status holding registers (MSHRs).
+
+An MSHR file tracks outstanding line misses: each entry owns one in-flight
+line address and a list of waiters (core-side callbacks) that merged onto
+it.  Capacity models the Table 1 limits (32 data MSHRs per core, 64 at the
+L2); a full file back-pressures the core's fetch stage, which is precisely
+what bounds per-core memory-level parallelism in the paper's setup (and
+what makes LREQ's 'pending request count' a bounded 1..64 quantity).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["MshrFile"]
+
+#: waiter callback signature: fn(line_addr, now)
+Waiter = Callable[[int, int], None]
+
+
+class MshrFile:
+    """Fixed-capacity miss tracker with same-line merging."""
+
+    __slots__ = ("capacity", "name", "_entries", "peak_occupancy", "merges")
+
+    def __init__(self, capacity: int, name: str = "mshr") -> None:
+        if capacity < 1:
+            raise ValueError("MSHR capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        #: line_addr -> list of waiters; entry exists while the miss is in flight
+        self._entries: dict[int, list[Waiter]] = {}
+        self.peak_occupancy = 0
+        self.merges = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def outstanding(self, line_addr: int) -> bool:
+        """Whether a miss for ``line_addr`` is already in flight."""
+        return line_addr in self._entries
+
+    def allocate(self, line_addr: int, waiter: Waiter | None = None) -> bool:
+        """Track a new miss for ``line_addr``.
+
+        Returns ``True`` if a *new* entry was allocated (a request must be
+        sent), ``False`` if the miss merged onto an existing entry.  Raises
+        ``OverflowError`` if a new entry is needed but the file is full —
+        callers must check :attr:`is_full` / :meth:`outstanding` first.
+        """
+        waiters = self._entries.get(line_addr)
+        if waiters is not None:
+            if waiter is not None:
+                waiters.append(waiter)
+            self.merges += 1
+            return False
+        if self.is_full:
+            raise OverflowError(f"{self.name} full ({self.capacity} entries)")
+        self._entries[line_addr] = [waiter] if waiter is not None else []
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
+        return True
+
+    def complete(self, line_addr: int, now: int) -> int:
+        """Retire the entry for ``line_addr`` and fire its waiters.
+
+        Returns the number of waiters notified.
+        """
+        try:
+            waiters = self._entries.pop(line_addr)
+        except KeyError:
+            raise KeyError(f"{self.name}: no outstanding miss for {line_addr:#x}") from None
+        for w in waiters:
+            w(line_addr, now)
+        return len(waiters)
+
+    def clear(self) -> None:
+        """Drop all entries without notifying waiters (reset between runs)."""
+        self._entries.clear()
+        self.peak_occupancy = 0
+        self.merges = 0

@@ -1,0 +1,114 @@
+"""Stream prefetching at the L2/memory boundary (extension).
+
+The paper's controller serves demand traffic only; its Impulse citation
+(and the prefetch-aware scheduling literature that followed) motivates
+asking how the policies behave when a prefetcher shares the memory
+system.  This module provides a classic per-core *stride stream
+prefetcher*:
+
+* a per-core table tracks the last demand-miss line and last stride;
+* two consecutive misses with the same stride *train* a stream;
+* a trained stream issues ``degree`` prefetches ahead of the demand miss
+  (each a line-fill read tagged ``is_prefetch``);
+* the controller serves prefetches only when a channel has no schedulable
+  demand reads (demand-first), mirroring read-bypass-write;
+* prefetched fills land in the L2 only; a later demand access that hits a
+  prefetched line (or merges onto an in-flight prefetch) counts as a
+  *useful* prefetch.
+
+Disabled by default — the paper's configuration — and enabled via
+``PrefetchConfig(enabled=True)`` on the system config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PrefetchConfig", "StridePrefetcher"]
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Stream-prefetcher parameters."""
+
+    enabled: bool = False
+    #: lines fetched ahead once a stream is trained
+    degree: int = 2
+    #: max outstanding prefetches per core (shares the core's MSHRs)
+    max_outstanding: int = 8
+
+    def validate(self) -> None:
+        if self.degree < 1:
+            raise ValueError("degree must be >= 1")
+        if self.max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+
+
+class StridePrefetcher:
+    """Per-core stride detection and prefetch-address generation."""
+
+    __slots__ = (
+        "config",
+        "line_bytes",
+        "_last_line",
+        "_last_stride",
+        "_trained",
+        "outstanding",
+        "issued",
+        "useful",
+    )
+
+    def __init__(self, config: PrefetchConfig, num_cores: int, line_bytes: int = 64) -> None:
+        config.validate()
+        self.config = config
+        self.line_bytes = line_bytes
+        self._last_line = [None] * num_cores
+        self._last_stride = [0] * num_cores
+        self._trained = [False] * num_cores
+        self.outstanding = [0] * num_cores
+        self.issued = 0
+        self.useful = 0
+
+    def observe_miss(self, core_id: int, line_addr: int) -> list[int]:
+        """Feed one demand L2 miss; returns line addresses to prefetch.
+
+        Training needs two consecutive misses with an identical non-zero
+        stride; once trained, every further miss on the stream yields
+        ``degree`` lookahead addresses (subject to the outstanding cap,
+        enforced by the caller via :meth:`can_issue`).
+        """
+        line = line_addr // self.line_bytes
+        last = self._last_line[core_id]
+        out: list[int] = []
+        if last is not None:
+            stride = line - last
+            if stride != 0 and stride == self._last_stride[core_id]:
+                self._trained[core_id] = True
+            elif stride != 0:
+                self._trained[core_id] = False
+                self._last_stride[core_id] = stride
+            if self._trained[core_id]:
+                for k in range(1, self.config.degree + 1):
+                    out.append((line + k * stride) * self.line_bytes)
+        self._last_line[core_id] = line
+        return out
+
+    def can_issue(self, core_id: int) -> bool:
+        """Whether the per-core outstanding-prefetch budget allows one more."""
+        return self.outstanding[core_id] < self.config.max_outstanding
+
+    def mark_issued(self, core_id: int) -> None:
+        self.outstanding[core_id] += 1
+        self.issued += 1
+
+    def mark_completed(self, core_id: int) -> None:
+        self.outstanding[core_id] -= 1
+
+    def mark_useful(self) -> None:
+        """A demand access benefited from a prefetched line."""
+        self.useful += 1
+
+    @property
+    def accuracy(self) -> float:
+        """Useful fraction of issued prefetches (so far)."""
+        return self.useful / self.issued if self.issued else 0.0

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the paper's workflow:
+
+* ``profile``   — single-core ME profiling of one or all applications
+                  (Table 2 analogue);
+* ``run``       — one multiprogrammed workload under one policy;
+* ``figure``    — regenerate a paper figure (2, 3, 4 or 5);
+* ``table2``    — regenerate Table 2;
+* ``workloads`` — list the Table 3 mixes;
+* ``policies``  — list the registered scheduling policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.config import SystemConfig
+from repro.core.registry import available_policies
+from repro.experiments import (
+    ExperimentContext,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_table2,
+)
+from repro.experiments.figure2 import format_figure2
+from repro.experiments.figure3 import format_figure3
+from repro.experiments.figure4 import format_figure4
+from repro.experiments.figure5 import format_figure5
+from repro.experiments.table2 import format_table2
+from repro.metrics.memory_efficiency import MeProfiler
+from repro.metrics.speedup import smt_speedup, unfairness
+from repro.sim.runner import run_multicore
+from repro.workloads.mixes import WORKLOAD_MIXES, workload_by_name
+from repro.workloads.spec2000 import APPS, app_by_name
+
+__all__ = ["main"]
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--budget", type=int, default=30_000,
+                   help="instructions measured per core")
+    p.add_argument("--seed", type=int, default=1)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    prof = MeProfiler(inst_budget=args.budget, seed=args.seed)
+    apps = [app_by_name(args.app)] if args.app else list(APPS)
+    print(f"{'app':<9} {'class':<5} {'IPC':>6} {'BW GB/s':>8} {'ME':>10}")
+    for app in apps:
+        p = prof.profile(app)
+        print(
+            f"{p.app:<9} {app.klass:<5} {p.ipc:>6.2f} {p.bw_gbps:>8.3f} "
+            f"{p.me:>10.3f}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    mix = workload_by_name(args.workload)
+    prof = MeProfiler(inst_budget=max(args.budget // 2, 5000), seed=args.seed)
+    me = prof.me_values(mix)
+    single = prof.single_ipcs(mix)
+    result = run_multicore(
+        mix, args.policy, inst_budget=args.budget, seed=args.seed, me_values=me
+    )
+    print(f"workload {mix.name} under {result.policy_name}")
+    for c, s in zip(result.per_core, single):
+        print(
+            f"  core{c.core_id} {c.app:<9} IPC={c.ipc:.3f} "
+            f"(solo {s:.3f})  lat={c.avg_read_latency:6.0f}  "
+            f"BW={c.bw_gbps:5.2f} GB/s"
+        )
+    print(f"SMT speedup = {smt_speedup(result.ipcs(), single):.3f}")
+    print(f"unfairness  = {unfairness(result.ipcs(), single):.3f}")
+    print(f"row-hit rate = {result.row_hit_rate:.1%}")
+    return 0
+
+
+def _make_ctx(args: argparse.Namespace) -> ExperimentContext:
+    return ExperimentContext(
+        inst_budget=args.budget,
+        seeds=tuple(args.seeds),
+        profile_budget=max(args.budget // 2, 5_000),
+        config=SystemConfig(),
+    )
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    ctx = _make_ctx(args)
+    if args.number == 2:
+        rows = run_figure2(
+            ctx, core_counts=tuple(args.cores), groups=tuple(args.groups)
+        )
+        print(format_figure2(rows))
+    elif args.number == 3:
+        print(format_figure3(run_figure3(ctx, groups=tuple(args.groups))))
+    elif args.number == 4:
+        print(format_figure4(run_figure4(ctx)))
+    elif args.number == 5:
+        print(format_figure5(run_figure5(ctx)))
+    else:  # pragma: no cover - argparse choices guard
+        raise ValueError(f"no figure {args.number}")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    ctx = _make_ctx(args)
+    print(format_table2(run_table2(ctx)))
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    for m in WORKLOAD_MIXES:
+        apps = ", ".join(a.name for a in m.apps())
+        print(f"{m.name:<8} [{m.codes}] {apps}")
+    return 0
+
+
+def _cmd_policies(_args: argparse.Namespace) -> int:
+    for name in available_policies():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="ICPP'08 memory-access-scheduling reproduction",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", help="single-core ME profiling")
+    _add_common(p)
+    p.add_argument("--app", help="benchmark name (default: all 26)")
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser("run", help="run one workload under one policy")
+    _add_common(p)
+    p.add_argument("workload", help="Table 3 mix name, e.g. 4MEM-1")
+    p.add_argument("policy", help="policy name, e.g. ME-LREQ")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    _add_common(p)
+    p.add_argument("number", type=int, choices=(2, 3, 4, 5))
+    p.add_argument("--cores", type=int, nargs="+", default=[4])
+    p.add_argument("--groups", nargs="+", default=["MEM"])
+    p.add_argument("--seeds", type=int, nargs="+", default=[1])
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("table2", help="regenerate Table 2")
+    _add_common(p)
+    p.add_argument("--seeds", type=int, nargs="+", default=[1])
+    p.set_defaults(fn=_cmd_table2)
+
+    p = sub.add_parser("workloads", help="list Table 3 mixes")
+    p.set_defaults(fn=_cmd_workloads)
+
+    p = sub.add_parser("policies", help="list scheduling policies")
+    p.set_defaults(fn=_cmd_policies)
+
+    return ap
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Memory-controller substrate.
+
+Implements the paper's controller organisation (Section 3.2 / Figure 1): a
+shared request buffer split into a read queue and a write queue, per-core
+outstanding-request counters, read-bypass-write with a write-drain
+hysteresis (drain above half the buffer, stop below a quarter), and a
+per-logic-channel scheduling point that consults a pluggable
+:class:`~repro.core.policy.SchedulingPolicy`.
+"""
+
+from repro.controller.controller import MemoryController
+from repro.controller.queues import RequestQueues
+from repro.controller.request import MemoryRequest
+
+__all__ = ["MemoryController", "MemoryRequest", "RequestQueues"]

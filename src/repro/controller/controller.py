@@ -1,0 +1,347 @@
+"""The memory controller: per-channel scheduling, write drain, statistics.
+
+This is the component the paper modifies.  Responsibilities:
+
+* accept line requests from the cache hierarchy into the shared buffer
+  (back-pressure when the 64-entry buffer is full);
+* at each per-channel scheduling point, choose the next transaction via the
+  active :class:`~repro.core.policy.SchedulingPolicy` — reads normally,
+  writes when the drain hysteresis is engaged (write queue above half the
+  buffer, drain until a quarter; Section 3.2/4.1) or opportunistically when
+  a channel has no pending reads;
+* decide the page policy per transaction (close-page default: keep the row
+  open only while another queued request targets it);
+* add the fixed controller overhead (15 ns) to every read's return path and
+  deliver completions back to the cores through the event engine.
+
+Scheduling cadence: one transaction is committed per channel per burst
+slot — the next decision point is the previous burst's data-start cycle, so
+bank preparation (ACT/PRE) overlaps data transfer, giving bank-level
+parallelism without letting the scheduler commit far into the future.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.config import ControllerConfig
+from repro.controller.queues import RequestQueues
+from repro.controller.request import MemoryRequest
+from repro.core.policy import SchedulingContext, SchedulingPolicy
+from repro.dram.dram_system import DramSystem
+from repro.util.rng import RngStream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import EventEngine
+
+__all__ = ["ControllerStats", "MemoryController"]
+
+
+def _min_opt(a: int | None, b: int | None) -> int | None:
+    """Minimum of two optional cycles."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if a < b else b
+
+
+class ControllerStats:
+    """Per-core and global memory-traffic statistics."""
+
+    __slots__ = (
+        "read_count",
+        "read_latency_sum",
+        "read_latency_max",
+        "bytes_read",
+        "bytes_written",
+        "write_count",
+        "prefetch_count",
+        "read_row_hits",
+        "drain_entries",
+    )
+
+    def __init__(self, num_cores: int) -> None:
+        self.read_count = [0] * num_cores
+        self.read_latency_sum = [0] * num_cores
+        self.read_latency_max = [0] * num_cores
+        self.bytes_read = [0] * num_cores
+        self.bytes_written = [0] * num_cores
+        self.write_count = [0] * num_cores
+        #: speculative line fills served (kept out of the demand read
+        #: latency statistics, but counted in bandwidth)
+        self.prefetch_count = [0] * num_cores
+        self.read_row_hits = 0
+        self.drain_entries = 0
+
+    def avg_read_latency(self, core_id: int | None = None) -> float:
+        """Average read latency in cycles, per core or overall."""
+        if core_id is None:
+            n = sum(self.read_count)
+            s = sum(self.read_latency_sum)
+        else:
+            n = self.read_count[core_id]
+            s = self.read_latency_sum[core_id]
+        return s / n if n else 0.0
+
+    def total_bytes(self, core_id: int) -> int:
+        """All DRAM bytes moved on behalf of ``core_id`` (reads + writes)."""
+        return self.bytes_read[core_id] + self.bytes_written[core_id]
+
+
+class MemoryController:
+    """Policy-driven DDR2 memory controller."""
+
+    def __init__(
+        self,
+        config: ControllerConfig,
+        dram: DramSystem,
+        policy: SchedulingPolicy,
+        num_cores: int,
+        engine: "EventEngine",
+        rng: RngStream,
+        line_bytes: int = 64,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.dram = dram
+        self.policy = policy
+        self.num_cores = num_cores
+        self.engine = engine
+        self.rng = rng
+        self.line_bytes = line_bytes
+        self.queues = RequestQueues(config.buffer_entries, num_cores)
+        self.stats = ControllerStats(num_cores)
+        self.drain_mode = False
+        self.refresh = None
+        if config.refresh_enabled:
+            from repro.dram.refresh import RefreshScheduler
+
+            self.refresh = RefreshScheduler(len(dram.channels))
+        #: callbacks waiting for a free buffer slot (stalled cores)
+        self._space_waiters: list[Callable[[int], None]] = []
+        #: per-channel flag: a scheduler event is already queued
+        self._sched_pending = [False] * len(dram.channels)
+        policy.setup(num_cores, rng.child("policy"))
+
+    # -- request intake --------------------------------------------------------
+
+    def can_accept(self) -> bool:
+        """Whether the shared buffer has a free slot."""
+        return not self.queues.is_full
+
+    def enqueue(self, req: MemoryRequest, now: int) -> bool:
+        """Accept ``req`` into the buffer; returns ``False`` when full.
+
+        On ``False`` the caller must stall and register via
+        :meth:`wait_for_space` to be re-woken.
+        """
+        if self.queues.is_full:
+            return False
+        req.coord = self.dram.coord(req.addr)
+        req.arrival_cycle = now
+        self.queues.add(req)
+        self._update_drain_mode()
+        self._kick_channel(req.coord.channel, now)
+        return True
+
+    def wait_for_space(self, callback: Callable[[int], None]) -> None:
+        """Register a one-shot callback for the next freed buffer slot."""
+        self._space_waiters.append(callback)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _update_drain_mode(self) -> None:
+        nw = len(self.queues.writes)
+        if not self.drain_mode and nw >= self.config.write_drain_high:
+            self.drain_mode = True
+            self.stats.drain_entries += 1
+        elif self.drain_mode and nw <= self.config.write_drain_low:
+            self.drain_mode = False
+
+    def _kick_channel(self, channel: int, now: int) -> None:
+        """Ensure a scheduler event is queued for ``channel``."""
+        if self._sched_pending[channel]:
+            return
+        self._sched_pending[channel] = True
+        when = self.dram.channels[channel].earliest_issue(now)
+        self.engine.schedule(when, self._on_schedule_point, channel)
+
+    def _on_schedule_point(self, now: int, channel: int) -> None:
+        self._sched_pending[channel] = False
+        self._schedule_one(channel, now)
+
+    def _candidates(
+        self, channel: int, now: int
+    ) -> tuple[list[MemoryRequest], bool, int | None]:
+        """Schedulable candidates for a channel.
+
+        Returns ``(candidates, is_write, next_arrival)``.  Requests whose
+        ``arrival_cycle`` lies in the future are invisible — cores running
+        inside their bounded fetch lookahead may enqueue future-dated
+        requests, and serving one early would break causality.
+        ``next_arrival`` is the earliest such future arrival (to re-arm the
+        scheduler) or ``None``.
+        """
+        self._update_drain_mode()
+        demand: list[MemoryRequest] = []
+        prefetch: list[MemoryRequest] = []
+        writes: list[MemoryRequest] = []
+        future: int | None = None
+        for r in self.queues.reads:
+            if r.coord.channel != channel:
+                continue
+            if r.arrival_cycle <= now:
+                (prefetch if r.is_prefetch else demand).append(r)
+            elif future is None or r.arrival_cycle < future:
+                future = r.arrival_cycle
+        for w in self.queues.writes:
+            if w.coord.channel != channel:
+                continue
+            if w.arrival_cycle <= now:
+                writes.append(w)
+            elif future is None or w.arrival_cycle < future:
+                future = w.arrival_cycle
+        if self.drain_mode and writes:
+            # Drain: writes take precedence until the low watermark.
+            ready, wake = self._bank_ready_filter(channel, writes, now)
+            return ready, True, _min_opt(future, wake)
+        wake_all: int | None = None
+        if demand:
+            ready, wake = self._bank_ready_filter(channel, demand, now)
+            if ready:
+                return ready, False, _min_opt(future, wake)
+            wake_all = _min_opt(wake_all, wake)
+        # Demand-first over prefetches: speculative fills only use slots no
+        # demand read can.
+        if prefetch:
+            ready, wake = self._bank_ready_filter(channel, prefetch, now)
+            if ready:
+                return ready, False, _min_opt(future, _min_opt(wake_all, wake))
+            wake_all = _min_opt(wake_all, wake)
+        # Idle-channel opportunism: writes proceed when no read wants the
+        # channel ('writes are scheduled after read requests').
+        ready, wake = self._bank_ready_filter(channel, writes, now)
+        return ready, True, _min_opt(future, _min_opt(wake_all, wake))
+
+    def _bank_ready_filter(
+        self, channel: int, candidates: list[MemoryRequest], now: int
+    ) -> tuple[list[MemoryRequest], int | None]:
+        """Keep only requests whose bank can start work soon.
+
+        The data bus serialises bursts in commit order, so committing a
+        transaction to a still-busy bank would wedge the bus behind it
+        (head-of-line blocking a real command scheduler never suffers).
+        Requests on busy banks are therefore *ineligible*; the second
+        element of the result is the earliest cycle one of them becomes
+        eligible, so the scheduler can re-arm instead of starving them.
+        """
+        if not candidates:
+            return candidates, None
+        banks = self.dram.channels[channel].banks
+        horizon = now + 2 * self.dram.timing.t_burst
+        ready: list[MemoryRequest] = []
+        wake: int | None = None
+        for r in candidates:
+            t = banks[r.coord.bank].ready_cycle
+            if t <= horizon:
+                ready.append(r)
+            elif wake is None or t < wake:
+                wake = t
+        return ready, (None if ready else wake)
+
+    def _schedule_one(self, channel: int, now: int) -> None:
+        if self.refresh is not None:
+            usable = self.refresh.advance(channel, self.dram.channels[channel], now)
+            if usable > now:
+                self._kick_channel(channel, usable)
+                return
+        candidates, is_write, next_arrival = self._candidates(channel, now)
+        if not candidates:
+            if next_arrival is not None:
+                self._kick_channel(channel, next_arrival)
+            return  # idle; next enqueue will kick us
+        ctx = SchedulingContext(now, channel, self.queues, self.dram, self.rng)
+        if self.policy.hit_first_global and len(candidates) > 1:
+            # The paper's command-level rule: row-buffer hits beat misses
+            # regardless of core priority (Sections 3.2 / 4.1).
+            hits = [r for r in candidates if self.dram.is_row_hit(r.coord)]
+            if hits:
+                candidates = hits
+        if is_write:
+            req = self.policy.select_write(candidates, ctx)
+        else:
+            req = self.policy.select_read(candidates, ctx)
+        self._commit(req, channel, now)
+        # More work? Re-arm at the channel's next issue opportunity.
+        if self.queues.reads or self.queues.writes:
+            self._kick_channel(channel, now)
+
+    def _commit(self, req: MemoryRequest, channel: int, now: int) -> None:
+        coord = req.coord
+        self.queues.remove(req)
+        keep_open = self._keep_open_after(coord)
+        timing = self.dram.execute(
+            coord, now, is_write=req.is_write, keep_open=keep_open
+        )
+        req.issue_cycle = now
+        req.row_hit = timing.row_hit
+        core = req.core_id
+        st = self.stats
+        if req.is_write:
+            req.done_cycle = timing.data_end
+            st.write_count[core] += 1
+            st.bytes_written[core] += self.line_bytes
+        elif req.is_prefetch:
+            # Speculative fill: bandwidth is real, but it is not a demand
+            # read — keep it out of the latency statistics.
+            req.done_cycle = timing.data_end + self.config.overhead
+            st.prefetch_count[core] += 1
+            st.bytes_read[core] += self.line_bytes
+            if req.on_complete is not None:
+                self.engine.schedule(req.done_cycle, self._deliver, req)
+        else:
+            # Reads pay the controller overhead on the return path.
+            req.done_cycle = timing.data_end + self.config.overhead
+            st.read_count[core] += 1
+            lat = req.done_cycle - req.arrival_cycle
+            st.read_latency_sum[core] += lat
+            if lat > st.read_latency_max[core]:
+                st.read_latency_max[core] = lat
+            st.bytes_read[core] += self.line_bytes
+            if timing.row_hit:
+                st.read_row_hits += 1
+            if req.on_complete is not None:
+                self.engine.schedule(req.done_cycle, self._deliver, req)
+        self._notify_space(now)
+
+    def _keep_open_after(self, coord) -> bool:
+        """Page-policy decision for the row being accessed.
+
+        Closed (paper default): keep the row latched only while another
+        queued request would hit it.  Open: always keep it latched.
+        """
+        if self.config.page_policy == "open":
+            return True
+        return self.queues.any_for_bank(coord.channel, coord.bank, coord.row)
+
+    def _deliver(self, now: int, req: MemoryRequest) -> None:
+        req.on_complete(req, now)
+        self.policy.on_read_complete(req.core_id, self.line_bytes, now)
+
+    def _notify_space(self, now: int) -> None:
+        if not self._space_waiters:
+            return
+        waiters, self._space_waiters = self._space_waiters, []
+        for cb in waiters:
+            cb(now)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def pending_reads_total(self) -> int:
+        return len(self.queues.reads)
+
+    @property
+    def pending_writes_total(self) -> int:
+        return len(self.queues.writes)

@@ -1,0 +1,50 @@
+"""The paper's contribution: memory-access scheduling policies.
+
+This package implements every scheme evaluated in the paper —
+
+* **FCFS / RF** — first-come-first-serve, optionally read-bypass-write
+  (Section 2, 'FCFS and Read-First')
+* **HF-RF** — hit-first with read-first, the paper's baseline
+* **RR** — round-robin over cores
+* **LREQ** — fewest-pending-reads core first (Zhu & Zhang, HPCA'05)
+* **ME** — fixed priority by profiled memory efficiency
+* **ME-LREQ** — the proposed scheme, ``Priority[i] = ME[i]/PendingRead[i]``
+  realised through the quantised hardware priority table of Figure 1
+* **FIX-xxxx** — arbitrary fixed core priority orders (Section 5.2)
+
+plus an online-ME variant of ME-LREQ (the paper's stated future work).
+
+Policies are selected by name through :func:`repro.core.registry.make_policy`.
+"""
+
+from repro.core.extensions import FairQueueingPolicy, StallTimeFairPolicy
+from repro.core.fcfs import FcfsPolicy, ReadFirstFcfsPolicy
+from repro.core.fixed import FixedPriorityPolicy
+from repro.core.hit_first import HitFirstReadFirstPolicy
+from repro.core.lreq import LeastRequestPolicy
+from repro.core.me import MemoryEfficiencyPolicy
+from repro.core.me_lreq import MeLreqPolicy, OnlineMeLreqPolicy
+from repro.core.policy import SchedulingContext, SchedulingPolicy
+from repro.core.priority_table import PriorityTable
+from repro.core.registry import available_policies, make_policy, register_policy
+from repro.core.round_robin import RoundRobinPolicy
+
+__all__ = [
+    "FairQueueingPolicy",
+    "FcfsPolicy",
+    "FixedPriorityPolicy",
+    "StallTimeFairPolicy",
+    "HitFirstReadFirstPolicy",
+    "LeastRequestPolicy",
+    "MeLreqPolicy",
+    "MemoryEfficiencyPolicy",
+    "OnlineMeLreqPolicy",
+    "PriorityTable",
+    "ReadFirstFcfsPolicy",
+    "RoundRobinPolicy",
+    "SchedulingContext",
+    "SchedulingPolicy",
+    "available_policies",
+    "make_policy",
+    "register_policy",
+]

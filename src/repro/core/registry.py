@@ -1,0 +1,69 @@
+"""Name -> policy factory registry.
+
+Experiments refer to policies by the short names the paper uses (``HF-RF``,
+``ME``, ``RR``, ``LREQ``, ``ME-LREQ``, ``FIX-3210`` ...).  The registry maps
+those names to constructors; FIX-* names are parsed dynamically so any core
+permutation can be requested, matching Section 5.2's 'assign a different
+priority sequence' experiment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Type
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.policy import SchedulingPolicy
+
+__all__ = ["register_policy", "make_policy", "available_policies"]
+
+_REGISTRY: dict[str, Type["SchedulingPolicy"]] = {}
+
+
+def register_policy(name: str) -> Callable[[type], type]:
+    """Class decorator registering a policy under ``name`` (upper-cased)."""
+
+    def deco(cls: type) -> type:
+        key = name.upper()
+        if key in _REGISTRY:
+            raise ValueError(f"policy {key!r} already registered")
+        _REGISTRY[key] = cls
+        cls.name = key
+        return cls
+
+    return deco
+
+
+def available_policies() -> list[str]:
+    """Registered policy names (FIX-* is available but parameterised)."""
+    return sorted(_REGISTRY) + ["FIX-<order>"]
+
+
+def make_policy(name: str, **kwargs) -> "SchedulingPolicy":
+    """Instantiate a policy by its paper name.
+
+    ``ME`` and ``ME-LREQ`` require ``me_values`` (the profiled memory
+    efficiencies, indexed by core).  ``FIX-<digits>`` builds a fixed-priority
+    policy: ``FIX-3210`` gives core 3 the highest priority, then 2, 1, 0.
+
+    >>> make_policy("RR").name
+    'RR'
+    >>> make_policy("FIX-0123").order
+    (0, 1, 2, 3)
+    """
+    # Imports here to avoid a cycle (policies import the base class).
+    from repro.core.fixed import FixedPriorityPolicy
+
+    key = name.upper()
+    if key.startswith("FIX-"):
+        digits = key[len("FIX-") :]
+        if not digits.isdigit():
+            raise ValueError(f"bad FIX policy spec {name!r}")
+        order = tuple(int(d) for d in digits)
+        return FixedPriorityPolicy(order=order, **kwargs)
+    try:
+        cls = _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,14 @@
+"""Processor-core substrate.
+
+:class:`~repro.cpu.trace.MemOp` / trace sources describe a program as a
+stream of memory references separated by gaps of non-memory instructions;
+:class:`~repro.cpu.core_model.TraceCore` executes such a stream on an
+interval-style out-of-order core model (issue width, ROB window, blocking
+commit at the ROB head, MSHR-limited memory-level parallelism) — the
+substitution for the paper's M5 cores documented in DESIGN.md §2.
+"""
+
+from repro.cpu.core_model import CoreStats, TraceCore
+from repro.cpu.trace import ListTrace, MemOp, TraceSource
+
+__all__ = ["CoreStats", "ListTrace", "MemOp", "TraceCore", "TraceSource"]

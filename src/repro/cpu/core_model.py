@@ -1,0 +1,398 @@
+"""Interval-style trace-driven out-of-order core model.
+
+This is the substitution for the paper's M5 cores (DESIGN.md §2).  It keeps
+the first-order mechanisms a memory-scheduling study depends on and nothing
+else:
+
+* the core fetches/retires ``issue_width`` instructions per cycle when
+  nothing stalls it;
+* the reorder buffer is a sliding instruction window of ``rob_size``:
+  fetch may run at most that far ahead of commit;
+* loads enter the window and block commit at the window head until their
+  data is ready (L1/L2 hit latency, or a DRAM round trip);
+* stores retire without waiting (write-buffer semantics) but still fetch
+  their line (write-allocate) and consume MSHRs;
+* a full MSHR file or a full controller buffer stalls fetch — that is what
+  bounds each core's memory-level parallelism.
+
+Time accounting uses *slot units*: one slot = one instruction issue
+opportunity, ``issue_width`` slots per cycle.  Fetch and commit each own a
+monotone slot cursor; converting ``slots // issue_width`` yields cycles.
+Between memory events the model advances analytically over whole gaps of
+non-memory instructions instead of iterating per cycle — the optimisation
+that makes a pure-Python reproduction feasible (see the HPC guide's advice
+to replace per-step loops with batch arithmetic).
+
+Fidelity approximations (intentional, documented):
+
+* When fetch resumes after a ROB-full or structural stall, its cursor is
+  clamped forward to the wake point (the front end loses the cycles it
+  was stalled, slightly conservative).
+* Each core may run up to ``lookahead`` cycles past the globally committed
+  simulation time; requests it emits are future-dated and the controller
+  refuses to schedule them early (see ``MemoryController._candidates``),
+  so causality holds, while the bound keeps cross-core L2 interleaving
+  honest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cache.hierarchy import BLOCKED, MERGED, PENDING, CacheHierarchy
+from repro.config import CoreConfig
+from repro.cpu.trace import MemOp, TraceSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import EventEngine
+
+__all__ = ["CoreStats", "TraceCore"]
+
+#: ready_cycle sentinel for loads still waiting on DRAM
+_NOT_READY = 1 << 62
+
+
+@dataclass
+class CoreStats:
+    """Per-core execution counters."""
+
+    loads: int = 0
+    stores: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    mem_requests: int = 0
+    structural_stalls: int = 0
+
+    @property
+    def mem_ops(self) -> int:
+        return self.loads + self.stores
+
+
+class TraceCore:
+    """One simulated core executing a :class:`TraceSource`.
+
+    Parameters
+    ----------
+    core_id / config / trace / hierarchy / engine:
+        Identity, core parameters (Table 1), instruction stream, memory
+        path and event engine.
+    target_insts:
+        Instruction budget: :attr:`finish_cycle` freezes when the
+        ``warmup_insts + target_insts``-th instruction commits.  The core
+        keeps executing (the paper reloads finished applications so
+        contention persists) until externally stopped.
+    warmup_insts:
+        Instructions committed before measurement starts; the caches and
+        queues warm during this window (the SimPoint warmup analogue).
+        :attr:`warmup_cycle` freezes at the crossing.
+    lookahead:
+        Bound, in cycles, on how far this core may run past the global
+        simulation time within one activation.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        trace: TraceSource,
+        hierarchy: CacheHierarchy,
+        engine: "EventEngine",
+        target_insts: int,
+        warmup_insts: int = 0,
+        lookahead: int = 256,
+    ) -> None:
+        config.validate()
+        if target_insts < 1:
+            raise ValueError("target_insts must be >= 1")
+        if warmup_insts < 0:
+            raise ValueError("warmup_insts must be >= 0")
+        if lookahead < 1:
+            raise ValueError("lookahead must be >= 1")
+        self.core_id = core_id
+        self.config = config
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.engine = engine
+        self.target_insts = target_insts
+        self.warmup_insts = warmup_insts
+        self.lookahead = lookahead
+        self.stats = CoreStats()
+
+        q = config.issue_width
+        self._Q = q
+        # Slot-unit cursors: fetch_q/commit_q point at the next free slot.
+        self.fetch_q = 0
+        self.commit_q = 0
+        self.fetched = 0
+        self.committed = 0
+        #: loads in the instruction window: [inst_no, ready_cycle]
+        self._rob: deque[list[int]] = deque()
+        #: next memory op waiting to be fetched, and its instruction index
+        self._cur_op: MemOp | None = None
+        self._cur_op_inst = 0
+        self._trace_done = False
+        self._blocked = False
+        self._stopped = False
+        self._fetch_was_full = False
+        #: cycle the warmup budget committed (0 when warmup_insts == 0)
+        self.warmup_cycle: int | None = 0 if warmup_insts == 0 else None
+        #: cycle the measurement budget committed, or None
+        self.finish_cycle: int | None = None
+        #: optional hooks fired once at each crossing: fn(core)
+        self.on_warmup = None
+        self.on_finish = None
+        self._pull_next_op()
+
+    # -- public control --------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the core's first activation at cycle 0."""
+        self.engine.schedule(0, self._wake)
+
+    def stop(self) -> None:
+        """Freeze the core (end of simulation)."""
+        self._stopped = True
+
+    @property
+    def finished(self) -> bool:
+        """Whether the instruction budget has committed."""
+        return self.finish_cycle is not None
+
+    def ipc(self) -> float:
+        """Committed IPC over the measurement window (0 while running)."""
+        if self.finish_cycle is None or self.warmup_cycle is None:
+            return 0.0
+        window = self.finish_cycle - self.warmup_cycle
+        if window <= 0:
+            return 0.0
+        return self.target_insts / window
+
+    # -- trace feed --------------------------------------------------------------
+
+    def _pull_next_op(self) -> None:
+        op = self.trace.next_op()
+        if op is None:
+            self._trace_done = True
+            self._cur_op = None
+        else:
+            self._cur_op = op
+            self._cur_op_inst = self.fetched + op.gap
+
+    # -- engine callbacks ----------------------------------------------------------
+
+    def _wake(self, now: int) -> None:
+        if not self._stopped:
+            self._run(now)
+
+    def _on_unblock(self, now: int) -> None:
+        if self._stopped or not self._blocked:
+            return  # stale wake (another resource freed us already)
+        self._blocked = False
+        # The front end lost the stalled cycles; resume from the wake point.
+        if self.fetch_q < now * self._Q:
+            self.fetch_q = now * self._Q
+        self._run(now)
+
+    def _on_load_ready(self, entry: list[int], now: int) -> None:
+        entry[1] = now
+        if not self._stopped:
+            self._run(now)
+
+    # -- the simulation loop ---------------------------------------------------------
+
+    def _run(self, now: int) -> None:
+        """Advance fetch and commit as far as currently deterministic,
+        bounded by ``now + lookahead`` for fetch."""
+        limit_q = (now + self.lookahead) * self._Q
+        while True:
+            self._advance_commit()
+            if self._blocked or self._stopped:
+                return
+            # If fetch had filled the window, it resumed only because
+            # commit freed slots — so its clock cannot be behind commit's
+            # (the documented resume-clamp; without it the front end would
+            # fetch 'in the past' after long memory stalls).
+            if (
+                self._fetch_was_full
+                and self.fetched - self.committed < self.config.rob_size
+            ):
+                self._fetch_was_full = False
+                if self.fetch_q < self.commit_q:
+                    self.fetch_q = self.commit_q
+            progressed = self._advance_fetch(limit_q)
+            self._advance_commit()
+            if not progressed:
+                break
+        self._arm_wake(now, limit_q)
+
+    # .. commit ..
+
+    def _advance_commit(self) -> None:
+        """Retire instructions up to the first not-ready load (no time cap:
+        commit timing is deterministic once ready times are known)."""
+        Q = self._Q
+        rob = self._rob
+        while True:
+            barrier = rob[0] if rob else None
+            boundary = barrier[0] if barrier is not None else self.fetched
+            free = boundary - self.committed
+            if free > 0:
+                # Plain instructions retire at Q per cycle.
+                self.committed += free
+                self.commit_q += free
+                self._check_finish()
+                continue
+            if barrier is None or barrier[0] >= self.fetched:
+                return  # nothing more fetched
+            ready = barrier[1]
+            if ready >= _NOT_READY:
+                return  # head load still waiting on memory
+            # The load itself retires, no earlier than its data-ready cycle.
+            min_q = ready * Q
+            if self.commit_q < min_q:
+                self.commit_q = min_q
+            self.commit_q += 1
+            self.committed += 1
+            rob.popleft()
+            self._check_finish()
+
+    def _crossing_cycle(self, threshold: int) -> int:
+        """Cycle the ``threshold``-th instruction committed (within the
+        batch that just completed): slot interpolation from commit_q."""
+        slot = self.commit_q - 1 - (self.committed - threshold)
+        return slot // self._Q + 1
+
+    def _check_finish(self) -> None:
+        if self.warmup_cycle is None and self.committed >= self.warmup_insts:
+            self.warmup_cycle = self._crossing_cycle(self.warmup_insts)
+            if self.on_warmup is not None:
+                self.on_warmup(self)
+        total = self.warmup_insts + self.target_insts
+        if self.finish_cycle is None and self.committed >= total:
+            self.finish_cycle = self._crossing_cycle(total)
+            if self.on_finish is not None:
+                self.on_finish(self)
+
+    # .. fetch ..
+
+    def _advance_fetch(self, limit_q: int) -> bool:
+        """Fetch up to ``limit_q``; returns whether any progress was made."""
+        Q = self._Q
+        progressed = False
+        while self.fetch_q < limit_q:
+            space = self.config.rob_size - (self.fetched - self.committed)
+            if space <= 0:
+                self._fetch_was_full = True
+                return progressed  # window full: wait for commit
+            if self._cur_op is None:
+                if self._trace_done:
+                    # Tail: plain instructions so a finite trace can still
+                    # reach its budget (tests); stop at the budget.
+                    remaining = self.warmup_insts + self.target_insts - self.fetched
+                    if remaining <= 0:
+                        return progressed
+                    take = min(remaining, space, limit_q - self.fetch_q)
+                    if take <= 0:
+                        return progressed
+                    self.fetched += take
+                    self.fetch_q += take
+                    progressed = True
+                    continue
+                self._pull_next_op()
+                continue
+            plain = self._cur_op_inst - self.fetched
+            if plain > 0:
+                take = min(plain, space, limit_q - self.fetch_q)
+                if take <= 0:
+                    return progressed
+                self.fetched += take
+                self.fetch_q += take
+                progressed = True
+                continue
+            # The memory instruction itself is due this slot.
+            if not self._fetch_mem_op():
+                return progressed
+            progressed = True
+        return progressed
+
+    def _fetch_mem_op(self) -> bool:
+        """Issue the pending memory op; returns False on a structural stall."""
+        op = self._cur_op
+        assert op is not None
+        cycle = self.fetch_q // self._Q
+        waiter_entry: list[int] | None = None
+        if not op.is_write:
+            waiter_entry = [self.fetched, _NOT_READY]
+
+        entry = waiter_entry
+
+        def on_data(_line: int, done: int, e=entry) -> None:
+            if e is not None:
+                self._on_load_ready(e, done)
+
+        result = self.hierarchy.access(
+            self.core_id,
+            op.addr,
+            op.is_write,
+            cycle,
+            on_data if entry is not None else self._store_data_cb,
+        )
+        if result == BLOCKED:
+            self.stats.structural_stalls += 1
+            self._blocked = True
+            self.hierarchy.wait_unblock(self._on_unblock)
+            return False
+        if op.is_write:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+            assert entry is not None
+            if result == PENDING:
+                self.stats.mem_requests += 1
+            elif result == MERGED:
+                pass  # waits on the in-flight line, no new request
+            else:
+                entry[1] = cycle + result
+                if result == self.hierarchy.config.caches.l1d.hit_latency:
+                    self.stats.l1_hits += 1
+                else:
+                    self.stats.l2_hits += 1
+            self._rob.append(entry)
+        self.fetched += 1
+        self.fetch_q += 1
+        self._pull_next_op()
+        return True
+
+    def _store_data_cb(self, _line: int, now: int) -> None:
+        """Store-miss data arrived: nothing blocks on it, but re-run in case
+        the MSHR slot it frees unblocks the front end indirectly."""
+        if not self._stopped and not self._blocked:
+            self._run(now)
+
+    # .. wake management ..
+
+    def _arm_wake(self, now: int, limit_q: int) -> None:
+        """Schedule the next spontaneous activation, if one is needed.
+
+        Blocked cores are woken by callbacks; cores stalled at the window
+        head are woken by their load's data return; only a core that
+        stopped purely because of the lookahead bound needs a timer.
+        """
+        if self._stopped or self._blocked:
+            return
+        if self._trace_done and self.fetched >= self.warmup_insts + self.target_insts:
+            return  # drained
+        # Stalled on window-full with a pending head load: response wakes us.
+        space = self.config.rob_size - (self.fetched - self.committed)
+        if space <= 0 and self._rob and self._rob[0][1] >= _NOT_READY:
+            return
+        if self.fetch_q >= limit_q:
+            self.engine.schedule(limit_q // self._Q, self._wake)
+            return
+        # Window full but head load has a known ready time: wake then.
+        if space <= 0 and self._rob:
+            self.engine.schedule(max(self._rob[0][1], now + 1), self._wake)
+            return
+        # Otherwise fetch stopped for a reason that resolves via callbacks.

@@ -1,0 +1,94 @@
+"""Program traces: memory references separated by instruction gaps.
+
+A trace reduces a program to the stream the memory system sees, the way
+trace-driven simulators have always done: each :class:`MemOp` is one memory
+instruction, preceded by ``gap`` ordinary (non-memory) instructions that
+the core retires at full issue rate.  Traces are pulled lazily — the
+synthetic workload generators in :mod:`repro.workloads` are infinite, and
+the core model consumes exactly as much as its instruction budget needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Protocol, runtime_checkable
+
+__all__ = ["MemOp", "TraceSource", "ListTrace"]
+
+
+class MemOp:
+    """One memory instruction in program order.
+
+    Attributes
+    ----------
+    gap:
+        Number of non-memory instructions preceding this one (>= 0).
+    addr:
+        Byte address referenced.
+    is_write:
+        Store (``True``) or load (``False``).
+    """
+
+    __slots__ = ("gap", "addr", "is_write")
+
+    def __init__(self, gap: int, addr: int, is_write: bool = False) -> None:
+        if gap < 0:
+            raise ValueError(f"negative gap {gap}")
+        if addr < 0:
+            raise ValueError(f"negative address {addr:#x}")
+        self.gap = gap
+        self.addr = addr
+        self.is_write = is_write
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "st" if self.is_write else "ld"
+        return f"MemOp(gap={self.gap}, {kind} {self.addr:#x})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemOp):
+            return NotImplemented
+        return (
+            self.gap == other.gap
+            and self.addr == other.addr
+            and self.is_write == other.is_write
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.gap, self.addr, self.is_write))
+
+
+@runtime_checkable
+class TraceSource(Protocol):
+    """Anything that yields memory operations in program order."""
+
+    def next_op(self) -> Optional[MemOp]:
+        """The next memory operation, or ``None`` when the trace ends."""
+        ...
+
+
+class ListTrace:
+    """A finite, in-memory trace (mainly for tests and examples)."""
+
+    __slots__ = ("_ops", "_pos")
+
+    def __init__(self, ops: Iterable[MemOp]) -> None:
+        self._ops = list(ops)
+        self._pos = 0
+
+    def next_op(self) -> Optional[MemOp]:
+        if self._pos >= len(self._ops):
+            return None
+        op = self._ops[self._pos]
+        self._pos += 1
+        return op
+
+    def rewind(self) -> None:
+        """Restart the trace from the beginning."""
+        self._pos = 0
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions the full trace represents (gaps + memory ops)."""
+        return sum(op.gap + 1 for op in self._ops)

@@ -1,0 +1,107 @@
+"""Trace persistence: record, save and load instruction traces.
+
+Trace-driven simulators live on trace files; this module provides a
+compact binary format so expensive synthetic (or externally converted)
+traces can be generated once and replayed many times:
+
+* header: magic ``REPROTR1``, little-endian ``uint64`` op count;
+* body: per op, three little-endian ``uint64`` words — gap, address,
+  flags (bit 0 = store).
+
+NumPy handles the (de)serialisation in bulk, so loading a million-op trace
+costs milliseconds, per the HPC guidance of batch I/O over per-record
+loops.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import BinaryIO
+
+import numpy as np
+
+from repro.cpu.trace import ListTrace, MemOp, TraceSource
+
+__all__ = ["TraceRecorder", "save_trace", "load_trace", "record_trace"]
+
+_MAGIC = b"REPROTR1"
+
+
+class TraceRecorder:
+    """Wrap a trace source, remembering every op that flows through.
+
+    Drop-in :class:`TraceSource`: hand it to a core in place of the
+    original source, then :meth:`save` what was actually consumed.
+    """
+
+    __slots__ = ("source", "ops")
+
+    def __init__(self, source: TraceSource) -> None:
+        self.source = source
+        self.ops: list[MemOp] = []
+
+    def next_op(self) -> MemOp | None:
+        op = self.source.next_op()
+        if op is not None:
+            self.ops.append(op)
+        return op
+
+    def save(self, path: str | os.PathLike) -> int:
+        """Write the recorded ops to ``path``; returns the op count."""
+        save_trace(self.ops, path)
+        return len(self.ops)
+
+
+def _encode(ops: list[MemOp]) -> bytes:
+    arr = np.empty((len(ops), 3), dtype="<u8")
+    for i, op in enumerate(ops):
+        arr[i, 0] = op.gap
+        arr[i, 1] = op.addr
+        arr[i, 2] = 1 if op.is_write else 0
+    buf = io.BytesIO()
+    buf.write(_MAGIC)
+    buf.write(np.uint64(len(ops)).tobytes())
+    buf.write(arr.tobytes())
+    return buf.getvalue()
+
+
+def save_trace(ops: list[MemOp], path: str | os.PathLike) -> None:
+    """Serialise ``ops`` to ``path`` in the REPROTR1 format."""
+    with open(path, "wb") as f:
+        f.write(_encode(ops))
+
+
+def _read_exactly(f: BinaryIO, n: int) -> bytes:
+    data = f.read(n)
+    if len(data) != n:
+        raise ValueError("truncated trace file")
+    return data
+
+
+def load_trace(path: str | os.PathLike) -> ListTrace:
+    """Load a REPROTR1 trace file into a replayable :class:`ListTrace`."""
+    with open(path, "rb") as f:
+        if _read_exactly(f, len(_MAGIC)) != _MAGIC:
+            raise ValueError(f"{path}: not a REPROTR1 trace file")
+        count = int(np.frombuffer(_read_exactly(f, 8), dtype="<u8")[0])
+        body = _read_exactly(f, count * 3 * 8)
+    arr = np.frombuffer(body, dtype="<u8").reshape(count, 3)
+    ops = [
+        MemOp(gap=int(g), addr=int(a), is_write=bool(w))
+        for g, a, w in arr
+    ]
+    return ListTrace(ops)
+
+
+def record_trace(source: TraceSource, num_ops: int) -> list[MemOp]:
+    """Pull up to ``num_ops`` operations from ``source`` into a list."""
+    if num_ops < 0:
+        raise ValueError("num_ops must be >= 0")
+    ops: list[MemOp] = []
+    for _ in range(num_ops):
+        op = source.next_op()
+        if op is None:
+            break
+        ops.append(op)
+    return ops

@@ -1,0 +1,100 @@
+"""DRAM bank state machine.
+
+A bank tracks the currently open row (if any) and the earliest cycle at
+which a new command may start at it.  The timing arithmetic for a whole
+transaction (activate / CAS / burst / precharge, plus data-bus
+serialisation) lives in :class:`repro.dram.channel.Channel`; the bank only
+answers "is this row open?", "when are you free?", and records the outcome
+of a committed transaction.
+
+Row-hit detection against this state is what the Hit-First component of
+every scheduling policy in the paper consults.
+"""
+
+from __future__ import annotations
+
+from repro.config import DramTimingConfig
+
+__all__ = ["Bank"]
+
+
+class Bank:
+    """One DRAM bank.
+
+    Attributes
+    ----------
+    open_row:
+        Row currently latched in the row buffer, or ``None`` when precharged
+        (precharge time is folded into ``ready_cycle``).
+    ready_cycle:
+        Earliest cycle a new command (ACT for a closed bank, CAS for the
+        open row) may start at this bank.
+    activations / row_hits:
+        Lifetime counters for statistics and ablations.
+    """
+
+    __slots__ = ("index", "timing", "open_row", "ready_cycle", "activations", "row_hits")
+
+    def __init__(self, index: int, timing: DramTimingConfig) -> None:
+        self.index = index
+        self.timing = timing
+        self.open_row: int | None = None
+        self.ready_cycle: int = 0
+        self.activations: int = 0
+        self.row_hits: int = 0
+
+    def is_open(self, row: int) -> bool:
+        """True iff ``row`` is latched in the row buffer."""
+        return self.open_row == row
+
+    def access_start(self, now: int) -> int:
+        """Earliest cycle an access could start here."""
+        return max(now, self.ready_cycle)
+
+    def commit(
+        self,
+        row: int,
+        data_end: int,
+        *,
+        was_hit: bool,
+        is_write: bool,
+        keep_open: bool,
+    ) -> None:
+        """Record a transaction whose data burst ends at ``data_end``.
+
+        Parameters
+        ----------
+        was_hit:
+            Whether the access reused the open row (stats only).
+        keep_open:
+            Page-policy decision by the controller: ``True`` leaves the row
+            latched, ``False`` auto-precharges after the access.
+        """
+        t = self.timing
+        if was_hit:
+            self.row_hits += 1
+        else:
+            self.activations += 1
+        recovery = t.t_wr if is_write else 0
+        if keep_open:
+            self.open_row = row
+            self.ready_cycle = data_end + recovery
+        else:
+            self.open_row = None
+            self.ready_cycle = data_end + recovery + t.t_rp
+
+    def precharge(self, now: int) -> None:
+        """Explicitly close the bank (open-page ablation uses this)."""
+        if self.open_row is not None:
+            self.open_row = None
+            self.ready_cycle = max(now, self.ready_cycle) + self.timing.t_rp
+
+    def reset(self) -> None:
+        """Return to the powered-up, all-banks-precharged state."""
+        self.open_row = None
+        self.ready_cycle = 0
+        self.activations = 0
+        self.row_hits = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bank({self.index}, open_row={self.open_row}, ready={self.ready_cycle})"

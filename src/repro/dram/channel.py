@@ -1,0 +1,154 @@
+"""Logic-channel model: banks plus a shared data bus.
+
+A *logic channel* in the paper is a ganged pair of physical channels with a
+16 B transfer width (12.8 GB/s at 800 MT/s); scheduling happens per logic
+channel.  The channel owns its banks' state machines and a data-bus
+occupancy cursor, and computes the full timing of one line transaction:
+
+* closed bank:         ACT at bank-ready, CAS after tRCD
+* open-row hit:        CAS at bank-ready
+* open-row conflict:   PRE (tRP), then ACT, then CAS (open-page ablation)
+* data burst:          starts at max(CAS + CL, bus free), lasts tBurst
+* page policy tail:    +tWR for writes, +tRP when auto-precharging
+
+The command bus is not separately modelled (on DDR2 it is not the
+bottleneck for 64 B-granule traffic); the data bus and bank timing are.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.config import DramTimingConfig
+from repro.dram.bank import Bank
+
+__all__ = ["TransactionTiming", "Channel"]
+
+
+@dataclass(frozen=True)
+class TransactionTiming:
+    """Resolved timing of one line transaction on a channel."""
+
+    #: cycle the column command issues
+    cas_cycle: int
+    #: first cycle of the data burst
+    data_start: int
+    #: cycle the data burst completes (read data available to controller)
+    data_end: int
+    #: whether the access hit the open row
+    row_hit: bool
+
+
+class Channel:
+    """One logic channel: a bank array and a serialised data bus."""
+
+    __slots__ = (
+        "index",
+        "timing",
+        "banks",
+        "bus_free_cycle",
+        "busy_until",
+        "transactions",
+        "_act_times",
+    )
+
+    def __init__(self, index: int, num_banks: int, timing: DramTimingConfig) -> None:
+        if num_banks < 1:
+            raise ValueError("channel needs at least one bank")
+        self.index = index
+        self.timing = timing
+        self.banks = [Bank(i, timing) for i in range(num_banks)]
+        #: next cycle the data bus is free
+        self.bus_free_cycle: int = 0
+        #: next cycle the channel scheduler may issue another transaction
+        #: (we pace issue at one transaction per burst slot)
+        self.busy_until: int = 0
+        self.transactions: int = 0
+        #: recent ACT issue cycles for tRRD / tFAW enforcement (kept only
+        #: when those constraints are enabled)
+        self._act_times: deque[int] = deque(maxlen=4)
+
+    # -- queries -------------------------------------------------------------
+
+    def is_row_hit(self, bank: int, row: int) -> bool:
+        """Would a request to (bank, row) hit the open row right now?"""
+        return self.banks[bank].is_open(row)
+
+    def earliest_issue(self, now: int) -> int:
+        """Earliest cycle the scheduler may commit another transaction."""
+        return max(now, self.busy_until)
+
+    def reset(self) -> None:
+        """Reset bus and all banks to the initial state."""
+        self.bus_free_cycle = 0
+        self.busy_until = 0
+        self.transactions = 0
+        self._act_times.clear()
+        for b in self.banks:
+            b.reset()
+
+    # -- scheduling ----------------------------------------------------------
+
+    def execute(
+        self,
+        bank_idx: int,
+        row: int,
+        now: int,
+        *,
+        is_write: bool,
+        keep_open: bool,
+    ) -> TransactionTiming:
+        """Commit one line transaction and return its resolved timing.
+
+        The caller (memory controller) has already chosen *which* request to
+        serve; this method only resolves *when* it completes, and advances
+        the bank and bus state.
+        """
+        t = self.timing
+        bank = self.banks[bank_idx]
+        start = bank.access_start(now)
+        hit = bank.is_open(row)
+        if hit:
+            cas = start
+        else:
+            if bank.open_row is not None:
+                # Open-page conflict: precharge before the activate.
+                start = start + t.t_rp
+            act = start
+            # Optional activate-rate constraints (tRRD / tFAW).
+            if t.t_rrd and self._act_times:
+                act = max(act, self._act_times[-1] + t.t_rrd)
+            if t.t_faw and len(self._act_times) == 4:
+                act = max(act, self._act_times[0] + t.t_faw)
+            if t.t_rrd or t.t_faw:
+                self._act_times.append(act)
+            cas = act + t.t_rcd
+        data_start = max(cas + t.t_cl, self.bus_free_cycle)
+        data_end = data_start + t.t_burst
+        self.bus_free_cycle = data_end
+        # Pace the scheduler at one transaction per data-burst slot: bursts
+        # can then run back-to-back on the bus while ACT/PRE of upcoming
+        # transactions overlap in other banks (bank-level parallelism).
+        self.busy_until = now + t.t_burst
+        bank.commit(row, data_end, was_hit=hit, is_write=is_write, keep_open=keep_open)
+        self.transactions += 1
+        return TransactionTiming(
+            cas_cycle=cas, data_start=data_start, data_end=data_end, row_hit=hit
+        )
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def total_activations(self) -> int:
+        return sum(b.activations for b in self.banks)
+
+    @property
+    def total_row_hits(self) -> int:
+        return sum(b.row_hits for b in self.banks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel({self.index}, banks={len(self.banks)}, "
+            f"bus_free={self.bus_free_cycle})"
+        )

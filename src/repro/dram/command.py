@@ -1,0 +1,136 @@
+"""DRAM command records and an optional command logger.
+
+The simulator schedules at transaction granularity, but each committed
+transaction implies a concrete DDR2 command sequence (PRE / ACT / RD / WR,
+with auto-precharge folded into the column command for the close-page
+policy).  :class:`CommandLog` reconstructs that sequence from the resolved
+transaction timing so tests and analyses can verify command-level
+behaviour (ordering, bank occupancy, row open/close discipline) without
+the simulator paying per-command event costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.config import DramTimingConfig
+from repro.dram.channel import TransactionTiming
+
+__all__ = ["CommandKind", "DramCommand", "CommandLog"]
+
+
+class CommandKind(Enum):
+    """DDR2 command types the model distinguishes."""
+
+    PRECHARGE = "PRE"
+    ACTIVATE = "ACT"
+    READ = "RD"
+    WRITE = "WR"
+    READ_AP = "RDA"  # read with auto-precharge
+    WRITE_AP = "WRA"  # write with auto-precharge
+
+
+@dataclass(frozen=True, order=True)
+class DramCommand:
+    """One command issued to one bank."""
+
+    cycle: int
+    channel: int
+    bank: int
+    kind: CommandKind
+    row: int
+
+
+class CommandLog:
+    """Reconstructs and stores the command stream of committed transactions.
+
+    Attach one to a live simulation with :meth:`attach` (it becomes the
+    :class:`~repro.dram.dram_system.DramSystem` observer) or call
+    :meth:`record` directly on saved timings.
+    """
+
+    __slots__ = ("timing", "commands")
+
+    def __init__(self, timing: DramTimingConfig) -> None:
+        self.timing = timing
+        self.commands: list[DramCommand] = []
+
+    def attach(self, dram) -> "CommandLog":
+        """Register as ``dram``'s transaction observer; returns self."""
+
+        def observer(coord, t, is_write, keep_open, had_conflict):
+            self.record(
+                coord.channel, coord.bank, coord.row, t,
+                is_write=is_write, keep_open=keep_open, had_conflict=had_conflict,
+            )
+
+        dram.observer = observer
+        return self
+
+    def record(
+        self,
+        channel: int,
+        bank: int,
+        row: int,
+        t: TransactionTiming,
+        *,
+        is_write: bool,
+        keep_open: bool,
+        had_conflict: bool = False,
+    ) -> None:
+        """Expand one transaction into its implied command sequence."""
+        cfg = self.timing
+        if not t.row_hit:
+            if had_conflict:
+                pre_cycle = t.cas_cycle - cfg.t_rcd - cfg.t_rp
+                self.commands.append(
+                    DramCommand(pre_cycle, channel, bank, CommandKind.PRECHARGE, row)
+                )
+            act_cycle = t.cas_cycle - cfg.t_rcd
+            self.commands.append(
+                DramCommand(act_cycle, channel, bank, CommandKind.ACTIVATE, row)
+            )
+        if is_write:
+            kind = CommandKind.WRITE if keep_open else CommandKind.WRITE_AP
+        else:
+            kind = CommandKind.READ if keep_open else CommandKind.READ_AP
+        self.commands.append(DramCommand(t.cas_cycle, channel, bank, kind, row))
+
+    # -- queries -----------------------------------------------------------
+
+    def per_bank(self, channel: int, bank: int) -> list[DramCommand]:
+        """Command stream of one bank, in issue order."""
+        return sorted(
+            c for c in self.commands if c.channel == channel and c.bank == bank
+        )
+
+    def count(self, kind: CommandKind) -> int:
+        return sum(1 for c in self.commands if c.kind == kind)
+
+    def verify_bank_discipline(self) -> None:
+        """Assert the open/close discipline per bank.
+
+        A column command must follow an ACT of the same row unless the
+        previous column command to that bank kept the row open; raises
+        ``AssertionError`` on violations.
+        """
+        banks: dict[tuple[int, int], list[DramCommand]] = {}
+        for c in sorted(self.commands):
+            banks.setdefault((c.channel, c.bank), []).append(c)
+        for seq in banks.values():
+            open_row: int | None = None
+            for c in seq:
+                if c.kind == CommandKind.ACTIVATE:
+                    assert open_row is None, f"ACT to open bank at {c}"
+                    open_row = c.row
+                elif c.kind == CommandKind.PRECHARGE:
+                    open_row = None
+                elif c.kind in (CommandKind.READ, CommandKind.WRITE):
+                    assert open_row == c.row, f"column command to wrong row: {c}"
+                else:  # auto-precharge variants
+                    assert open_row == c.row, f"column command to wrong row: {c}"
+                    open_row = None
+
+    def clear(self) -> None:
+        self.commands.clear()

@@ -1,0 +1,99 @@
+"""Whole DRAM system: the channel array plus the address mapper.
+
+This is the device-side substrate the memory controller drives.  It knows
+nothing about scheduling policies; it answers row-hit queries and executes
+transactions chosen by the controller, returning resolved timing.
+"""
+
+from __future__ import annotations
+
+from repro.config import DramTimingConfig, DramTopologyConfig
+from repro.dram.address import AddressMapper, DramCoord
+from repro.dram.channel import Channel, TransactionTiming
+
+__all__ = ["DramSystem"]
+
+
+class DramSystem:
+    """All logic channels behind one memory controller.
+
+    ``observer`` is an optional hook called after every executed
+    transaction with ``(coord, timing, is_write, keep_open, had_conflict)``
+    — the attachment point for command-level logging/analysis
+    (:class:`repro.dram.command.CommandLog`) without per-command cost in
+    normal runs.
+    """
+
+    __slots__ = ("topology", "timing", "mapper", "channels", "observer")
+
+    def __init__(
+        self,
+        topology: DramTopologyConfig,
+        timing: DramTimingConfig,
+        line_bytes: int = 64,
+    ) -> None:
+        topology.validate()
+        timing.validate()
+        self.topology = topology
+        self.timing = timing
+        self.mapper = AddressMapper(topology, line_bytes)
+        self.channels = [
+            Channel(i, topology.banks_per_channel, timing)
+            for i in range(topology.logic_channels)
+        ]
+        self.observer = None
+
+    def coord(self, addr: int) -> DramCoord:
+        """Decode a byte address into its DRAM coordinate."""
+        return self.mapper.decode(addr)
+
+    def is_row_hit(self, coord: DramCoord) -> bool:
+        """Would a request to ``coord`` hit its bank's open row now?"""
+        return self.channels[coord.channel].is_row_hit(coord.bank, coord.row)
+
+    def execute(
+        self,
+        coord: DramCoord,
+        now: int,
+        *,
+        is_write: bool,
+        keep_open: bool,
+    ) -> TransactionTiming:
+        """Execute one line transaction at ``coord`` starting no earlier
+        than ``now``; returns the resolved timing."""
+        channel = self.channels[coord.channel]
+        if self.observer is not None:
+            bank = channel.banks[coord.bank]
+            conflict = bank.open_row is not None and bank.open_row != coord.row
+            t = channel.execute(
+                coord.bank, coord.row, now, is_write=is_write, keep_open=keep_open
+            )
+            self.observer(coord, t, is_write, keep_open, conflict)
+            return t
+        return channel.execute(
+            coord.bank, coord.row, now, is_write=is_write, keep_open=keep_open
+        )
+
+    def reset(self) -> None:
+        """Reset every channel and bank."""
+        for ch in self.channels:
+            ch.reset()
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def total_transactions(self) -> int:
+        return sum(ch.transactions for ch in self.channels)
+
+    @property
+    def total_row_hits(self) -> int:
+        return sum(ch.total_row_hits for ch in self.channels)
+
+    @property
+    def total_activations(self) -> int:
+        return sum(ch.total_activations for ch in self.channels)
+
+    def row_hit_rate(self) -> float:
+        """Fraction of transactions that reused an open row."""
+        total = self.total_transactions
+        return self.total_row_hits / total if total else 0.0

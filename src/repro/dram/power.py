@@ -1,0 +1,138 @@
+"""DDR2 energy accounting (extension).
+
+Memory-scheduling papers of this era report performance only, but a
+production simulator needs energy counters, so we provide the standard
+IDD-based accounting (after Micron's DDR2 power application note,
+simplified to the quantities our transaction model exposes):
+
+* ``e_activate``   — one ACT/PRE pair (row open + close);
+* ``e_read/e_write`` — one column burst;
+* ``e_refresh``    — one all-bank refresh;
+* ``p_background`` — standby power, charged per cycle per channel.
+
+Values default to representative DDR2-800 1 Gb numbers (nanojoules /
+milliwatts at the CPU clock); they are parameters, not measurements — the
+interesting outputs are *relative* (policy A vs policy B, hit-rich vs
+hit-poor schedules), which is also how the counters are tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.dram_system import DramSystem
+from repro.util.units import CPU_FREQ_HZ, seconds
+
+__all__ = ["DramEnergyModel", "EnergyBreakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy totals in nanojoules, by component."""
+
+    activate_nj: float
+    read_nj: float
+    write_nj: float
+    refresh_nj: float
+    background_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return (
+            self.activate_nj
+            + self.read_nj
+            + self.write_nj
+            + self.refresh_nj
+            + self.background_nj
+        )
+
+    def avg_power_mw(self, cycles: int) -> float:
+        """Average power over ``cycles`` CPU cycles, in milliwatts."""
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        t = seconds(cycles)
+        return self.total_nj * 1e-9 / t * 1e3
+
+    def energy_per_bit_pj(self, total_bytes: int) -> float:
+        """Total energy per transferred bit, in picojoules."""
+        bits = total_bytes * 8
+        if bits <= 0:
+            return 0.0
+        return self.total_nj * 1e3 / bits
+
+
+class DramEnergyModel:
+    """Accumulates energy from a :class:`DramSystem`'s counters.
+
+    Parameters are per-event energies (nJ) and per-channel background
+    power (mW).  Attach with :meth:`observe_run` after a simulation, or
+    incrementally via the DRAM observer hook for windowed accounting.
+    """
+
+    def __init__(
+        self,
+        e_activate_nj: float = 3.0,
+        e_read_nj: float = 2.0,
+        e_write_nj: float = 2.2,
+        e_refresh_nj: float = 25.0,
+        p_background_mw_per_channel: float = 150.0,
+    ) -> None:
+        for name, v in (
+            ("e_activate_nj", e_activate_nj),
+            ("e_read_nj", e_read_nj),
+            ("e_write_nj", e_write_nj),
+            ("e_refresh_nj", e_refresh_nj),
+            ("p_background_mw_per_channel", p_background_mw_per_channel),
+        ):
+            if v < 0:
+                raise ValueError(f"{name} must be >= 0")
+        self.e_activate_nj = e_activate_nj
+        self.e_read_nj = e_read_nj
+        self.e_write_nj = e_write_nj
+        self.e_refresh_nj = e_refresh_nj
+        self.p_background_mw = p_background_mw_per_channel
+
+    def measure(
+        self,
+        dram: DramSystem,
+        cycles: int,
+        reads: int,
+        writes: int,
+        refreshes: int = 0,
+    ) -> EnergyBreakdown:
+        """Energy of a finished run.
+
+        ``reads``/``writes`` are transaction counts (the DRAM system does
+        not distinguish them itself); activations come from the bank
+        counters, so row hits are correctly cheaper than misses.
+        """
+        if cycles < 0 or reads < 0 or writes < 0 or refreshes < 0:
+            raise ValueError("counts must be >= 0")
+        background_j_per_channel = (
+            self.p_background_mw * 1e-3 * cycles / CPU_FREQ_HZ
+        )
+        return EnergyBreakdown(
+            activate_nj=dram.total_activations * self.e_activate_nj,
+            read_nj=reads * self.e_read_nj,
+            write_nj=writes * self.e_write_nj,
+            refresh_nj=refreshes * self.e_refresh_nj,
+            background_nj=(
+                background_j_per_channel * 1e9 * len(dram.channels)
+            ),
+        )
+
+    def measure_system(self, system) -> EnergyBreakdown:
+        """Convenience wrapper over a finished :class:`MultiCoreSystem`."""
+        st = system.controller.stats
+        refreshes = (
+            system.controller.refresh.refreshes_issued
+            if system.controller.refresh is not None
+            else 0
+        )
+        return self.measure(
+            system.dram,
+            cycles=system.engine.now,
+            reads=sum(st.read_count),
+            writes=sum(st.write_count),
+            refreshes=refreshes,
+        )

@@ -1,0 +1,56 @@
+"""Experiment harnesses — one module per paper table/figure.
+
+Every harness follows the paper's methodology end to end:
+
+1. profile each application's memory efficiency on a single core
+   (``"profile"`` trace phase — the 10 M-instruction SimPoint analogue);
+2. measure each application's single-core IPC on the evaluation phase
+   (the SMT-speedup denominator);
+3. run the Table 3 multiprogrammed mixes under each policy and report the
+   same rows/series the paper plots.
+
+The shared :class:`~repro.experiments.harness.ExperimentContext` caches
+profiling runs so a sweep touches each application once per seed, and
+averages every (workload, policy) cell over ``seeds`` to damp the
+short-run noise of the scaled-down instruction budgets.
+"""
+
+from repro.experiments.ablations import (
+    ablation_lookahead,
+    ablation_online_phases,
+    ablation_page_policy,
+    ablation_prefetch,
+    ablation_split_controllers,
+    ablation_table_bits,
+    ablation_write_drain,
+)
+from repro.experiments.extensions_study import (
+    format_extension_study,
+    run_extension_study,
+)
+from repro.experiments.figure2 import Figure2Row, run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.harness import ExperimentContext, PolicyOutcome
+from repro.experiments.table2 import run_table2
+
+__all__ = [
+    "ExperimentContext",
+    "Figure2Row",
+    "PolicyOutcome",
+    "ablation_lookahead",
+    "ablation_online_phases",
+    "ablation_page_policy",
+    "ablation_prefetch",
+    "ablation_split_controllers",
+    "ablation_table_bits",
+    "ablation_write_drain",
+    "format_extension_study",
+    "run_extension_study",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_table2",
+]

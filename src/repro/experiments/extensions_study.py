@@ -1,0 +1,105 @@
+"""Extension study: the paper's policies vs contemporaneous schedulers.
+
+Beyond the paper's own evaluation (step-5 work): put ME-LREQ next to the
+fairness-oriented schedulers of its related-work section — fair queueing
+(FQ), stall-time fairness (STFM), PAR-BS-style batching (BATCH) — plus the
+online-ME variant the paper proposes as future work, all on the same
+workloads and metrics, so the design space the paper argues within can be
+inspected directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.me_lreq import OnlineMeLreqPolicy
+from repro.core.registry import make_policy
+from repro.experiments.harness import ExperimentContext, mean
+from repro.metrics.speedup import smt_speedup, unfairness
+from repro.sim.runner import run_multicore
+from repro.workloads.mixes import mixes_for
+
+__all__ = ["ExtensionOutcome", "run_extension_study", "format_extension_study"]
+
+#: baseline + proposed + related-work extensions
+EXT_POLICIES: tuple[str, ...] = (
+    "HF-RF",
+    "LREQ",
+    "ME-LREQ",
+    "ME-LREQ-ONLINE",
+    "FQ",
+    "STFM",
+    "BATCH",
+)
+
+
+@dataclass(frozen=True)
+class ExtensionOutcome:
+    policy: str
+    avg_speedup: float
+    avg_gain_vs_baseline: float
+    avg_unfairness: float
+
+
+def _build_policy(name: str, ctx: ExperimentContext, mix, seed: int):
+    if name == "ME-LREQ-ONLINE":
+        return OnlineMeLreqPolicy(window=20_000)
+    if name in ("ME", "ME-LREQ"):
+        return make_policy(name, me_values=ctx.me_values(mix, seed))
+    return make_policy(name)
+
+
+def run_extension_study(
+    ctx: ExperimentContext,
+    num_cores: int = 4,
+    group: str = "MEM",
+    policies: tuple[str, ...] = EXT_POLICIES,
+) -> list[ExtensionOutcome]:
+    """Compare the extended policy set over one Table 3 group."""
+    mixes = mixes_for(num_cores, group)
+    speedups: dict[str, list[float]] = {p: [] for p in policies}
+    unfairs: dict[str, list[float]] = {p: [] for p in policies}
+    gains: dict[str, list[float]] = {p: [] for p in policies}
+    for mix in mixes:
+        for seed in ctx.seeds:
+            single = ctx.single_ipcs(mix, seed)
+            base = smt_speedup(ctx.run(mix, "HF-RF", seed).ipcs(), single)
+            for p in policies:
+                if p == "HF-RF":
+                    r = ctx.run(mix, p, seed)
+                else:
+                    r = run_multicore(
+                        mix,
+                        _build_policy(p, ctx, mix, seed),
+                        inst_budget=ctx.inst_budget,
+                        seed=seed,
+                        warmup_insts=ctx.warmup_insts,
+                        config=ctx.config,
+                        lookahead=ctx.lookahead,
+                    )
+                sp = smt_speedup(r.ipcs(), single)
+                speedups[p].append(sp)
+                unfairs[p].append(unfairness(r.ipcs(), single))
+                gains[p].append(sp / base - 1)
+    return [
+        ExtensionOutcome(
+            policy=p,
+            avg_speedup=mean(speedups[p]),
+            avg_gain_vs_baseline=mean(gains[p]),
+            avg_unfairness=mean(unfairs[p]),
+        )
+        for p in policies
+    ]
+
+
+def format_extension_study(outcomes: list[ExtensionOutcome]) -> str:
+    lines = ["== extension study: paper vs contemporaneous schedulers =="]
+    lines.append(
+        f"{'policy':<16} {'speedup':>8} {'vs HF-RF':>9} {'unfairness':>11}"
+    )
+    for o in outcomes:
+        lines.append(
+            f"{o.policy:<16} {o.avg_speedup:>8.3f} "
+            f"{o.avg_gain_vs_baseline:>+8.1%} {o.avg_unfairness:>11.2f}"
+        )
+    return "\n".join(lines)

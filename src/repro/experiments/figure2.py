@@ -1,0 +1,103 @@
+"""Figure 2: SMT speedup of the five policies over Table 3's mixes.
+
+The paper plots, for 2/4/8 cores and the MEM and MIX groups, the SMT
+speedup of HF-RF, ME, RR, LREQ and ME-LREQ on every workload.  The shape
+targets (paper Section 5.1):
+
+* ranking on MEM workloads: ME < HF-RF < RR < LREQ < ME-LREQ (avg);
+* ME-LREQ over HF-RF: small at 2 cores, ~10.7 % avg / 17.7 % max at
+  4 cores, ~19.9 % avg / 21.4 % max at 8 cores;
+* MIX workloads: smaller gains at 4 cores (~4 %), larger at 8 (~12.1 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.harness import ExperimentContext, PolicyOutcome, mean
+from repro.workloads.mixes import mixes_for
+
+__all__ = ["POLICIES", "Figure2Row", "run_figure2", "format_figure2"]
+
+#: the five schemes of Figure 2, in the paper's legend order
+POLICIES: tuple[str, ...] = ("HF-RF", "ME", "RR", "LREQ", "ME-LREQ")
+
+
+@dataclass(frozen=True)
+class Figure2Row:
+    """One workload's speedups under every policy."""
+
+    workload: str
+    num_cores: int
+    group: str
+    outcomes: dict[str, PolicyOutcome]
+
+    def speedup(self, policy: str) -> float:
+        return self.outcomes[policy.upper()].smt_speedup
+
+    def gain(self, policy: str, baseline: str = "HF-RF") -> float:
+        """Relative gain of ``policy`` over ``baseline`` on this workload."""
+        return self.speedup(policy) / self.speedup(baseline) - 1.0
+
+
+def run_figure2(
+    ctx: ExperimentContext,
+    core_counts: tuple[int, ...] = (2, 4, 8),
+    groups: tuple[str, ...] = ("MEM", "MIX"),
+    policies: tuple[str, ...] = POLICIES,
+) -> list[Figure2Row]:
+    """Regenerate Figure 2's data points."""
+    rows: list[Figure2Row] = []
+    for n in core_counts:
+        for group in groups:
+            for mix in mixes_for(n, group):
+                outcomes = {p: ctx.outcome(mix, p) for p in policies}
+                rows.append(
+                    Figure2Row(
+                        workload=mix.name,
+                        num_cores=n,
+                        group=group,
+                        outcomes=outcomes,
+                    )
+                )
+    return rows
+
+
+def average_gains(
+    rows: list[Figure2Row], policies: tuple[str, ...] = POLICIES
+) -> dict[tuple[int, str, str], float]:
+    """Group-average relative gains over HF-RF, keyed by
+    ``(num_cores, group, policy)`` — the numbers Section 5.1 quotes."""
+    out: dict[tuple[int, str, str], float] = {}
+    keys = {(r.num_cores, r.group) for r in rows}
+    for n, group in sorted(keys):
+        subset = [r for r in rows if r.num_cores == n and r.group == group]
+        for p in policies:
+            out[(n, group, p)] = mean([r.gain(p) for r in subset])
+    return out
+
+
+def format_figure2(rows: list[Figure2Row]) -> str:
+    """Render the figure as paper-style text tables."""
+    if not rows:
+        return "(no data)"
+    policies = tuple(rows[0].outcomes)
+    lines: list[str] = []
+    header = "workload   " + "".join(f"{p:>10}" for p in policies)
+    current = None
+    for r in rows:
+        key = (r.num_cores, r.group)
+        if key != current:
+            current = key
+            lines.append(f"\n== {r.num_cores}-core {r.group} (SMT speedup) ==")
+            lines.append(header)
+        lines.append(
+            f"{r.workload:<11}"
+            + "".join(f"{r.speedup(p):>10.3f}" for p in policies)
+        )
+    if "HF-RF" in policies:
+        lines.append("\n== average gain over HF-RF ==")
+        for (n, group, p), g in sorted(average_gains(rows, policies).items()):
+            if p != "HF-RF":
+                lines.append(f"{n}-core {group:<4} {p:<8} {g:+7.1%}")
+    return "\n".join(lines)

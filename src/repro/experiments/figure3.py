@@ -1,0 +1,66 @@
+"""Figure 3: simple fixed-priority schemes vs ME on the four-core system.
+
+The paper compares HF-RF, ME, FIX-3210 and FIX-0123 on the 4-core
+workloads to show that *which* fixed order you pick matters enormously —
+4MEM-1 gains 2.8 % under FIX-0123 but loses 13.8 % under FIX-3210, and
+4MEM-6 loses 18 % — while the ME-guided order behaves consistently.  The
+conclusion: fixed priorities need the memory-efficiency information, and
+good performance additionally needs the run-time (LREQ) term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.harness import ExperimentContext, PolicyOutcome
+from repro.workloads.mixes import mixes_for
+
+__all__ = ["FIG3_POLICIES", "Figure3Row", "run_figure3", "format_figure3"]
+
+FIG3_POLICIES: tuple[str, ...] = ("HF-RF", "ME", "FIX-3210", "FIX-0123")
+
+
+@dataclass(frozen=True)
+class Figure3Row:
+    workload: str
+    outcomes: dict[str, PolicyOutcome]
+
+    def speedup(self, policy: str) -> float:
+        return self.outcomes[policy.upper()].smt_speedup
+
+    def gain(self, policy: str) -> float:
+        return self.speedup(policy) / self.speedup("HF-RF") - 1.0
+
+
+def run_figure3(
+    ctx: ExperimentContext,
+    groups: tuple[str, ...] = ("MEM", "MIX"),
+) -> list[Figure3Row]:
+    """Regenerate Figure 3 (4-core platform only, as in the paper)."""
+    rows = []
+    for group in groups:
+        for mix in mixes_for(4, group):
+            outcomes = {p: ctx.outcome(mix, p) for p in FIG3_POLICIES}
+            rows.append(Figure3Row(workload=mix.name, outcomes=outcomes))
+    return rows
+
+
+def spread(rows: list[Figure3Row], policy: str) -> tuple[float, float]:
+    """(best, worst) gain of a fixed scheme across workloads — the
+    'noticeable but unpredictable' range the paper highlights."""
+    gains = [r.gain(policy) for r in rows]
+    return max(gains), min(gains)
+
+
+def format_figure3(rows: list[Figure3Row]) -> str:
+    lines = ["== 4-core fixed-priority comparison (SMT speedup) =="]
+    lines.append("workload   " + "".join(f"{p:>10}" for p in FIG3_POLICIES))
+    for r in rows:
+        lines.append(
+            f"{r.workload:<11}"
+            + "".join(f"{r.speedup(p):>10.3f}" for p in FIG3_POLICIES)
+        )
+    for p in FIG3_POLICIES[1:]:
+        best, worst = spread(rows, p)
+        lines.append(f"{p}: best {best:+.1%}, worst {worst:+.1%} vs HF-RF")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Figure 4: memory read latency under the five policies.
+
+Left part: average read latency of each 4-core MEM workload under HF-RF,
+ME, RR, LREQ and ME-LREQ.  Right part: *per-core* average read latency for
+4MEM-1 and 4MEM-5, showing that HF-RF serves every core with nearly the
+same latency, RR keeps a narrow spread, a fixed ME order starves its
+lowest-priority core (the paper's 289 vs 1042-cycle example), and ME-LREQ
+avoids starvation because priorities move with the pending-read count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.figure2 import POLICIES
+from repro.experiments.harness import ExperimentContext, PolicyOutcome, mean
+from repro.workloads.mixes import mixes_for
+
+__all__ = ["Figure4Result", "run_figure4", "format_figure4"]
+
+#: the two workloads of the figure's right part
+PER_CORE_WORKLOADS: tuple[str, ...] = ("4MEM-1", "4MEM-5")
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """Average latencies (left) and per-core latencies (right)."""
+
+    #: workload -> policy -> seed-averaged outcome
+    left: dict[str, dict[str, PolicyOutcome]]
+    #: workload -> policy -> per-core latency tuple
+    right: dict[str, dict[str, tuple[float, ...]]]
+
+    def avg_latency(self, policy: str) -> float:
+        """All-workload average read latency of one policy."""
+        return mean(
+            [o[policy.upper()].avg_read_latency for o in self.left.values()]
+        )
+
+    def latency_spread(self, workload: str, policy: str) -> float:
+        """Max/min per-core latency ratio (starvation indicator)."""
+        lats = self.right[workload][policy.upper()]
+        return max(lats) / max(min(lats), 1e-9)
+
+
+def run_figure4(
+    ctx: ExperimentContext,
+    policies: tuple[str, ...] = POLICIES,
+) -> Figure4Result:
+    """Regenerate both parts of Figure 4 (4-core MEM workloads)."""
+    left: dict[str, dict[str, PolicyOutcome]] = {}
+    right: dict[str, dict[str, tuple[float, ...]]] = {}
+    for mix in mixes_for(4, "MEM"):
+        left[mix.name] = {p: ctx.outcome(mix, p) for p in policies}
+    for name in PER_CORE_WORKLOADS:
+        right[name] = {
+            p: left[name][p].per_core_latency for p in policies
+        }
+    return Figure4Result(left=left, right=right)
+
+
+def format_figure4(res: Figure4Result) -> str:
+    policies = next(iter(res.left.values())).keys()
+    lines = ["== Figure 4 (left): avg read latency, 4-core MEM (cycles) =="]
+    lines.append("workload   " + "".join(f"{p:>10}" for p in policies))
+    for wl, by_policy in res.left.items():
+        lines.append(
+            f"{wl:<11}"
+            + "".join(f"{by_policy[p].avg_read_latency:>10.0f}" for p in policies)
+        )
+    lines.append("all-workload average:")
+    lines.append(
+        " " * 11 + "".join(f"{res.avg_latency(p):>10.0f}" for p in policies)
+    )
+    lines.append("\n== Figure 4 (right): per-core read latency (cycles) ==")
+    for wl, by_policy in res.right.items():
+        lines.append(f"-- {wl} --")
+        for p, lats in by_policy.items():
+            cores = " ".join(f"{x:7.0f}" for x in lats)
+            lines.append(f"  {p:<8} {cores}   spread={res.latency_spread(wl, p):.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Figure 5: fairness of the scheduling policies.
+
+Unfairness = max slowdown / min slowdown across the concurrent
+applications (Section 5.3, after Gabor et al. / Mutlu & Moscibroda); the
+paper shows ME-LREQ achieving the *best* fairness of all policies on the
+4-core MEM workloads (reducing unfairness vs HF-RF/RR/LREQ by 7.9 %,
+7.6 % and 16.6 % on average) while the fixed ME order makes fairness
+worse than HF-RF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.figure2 import POLICIES
+from repro.experiments.harness import ExperimentContext, PolicyOutcome, mean
+from repro.workloads.mixes import mixes_for
+
+__all__ = ["Figure5Result", "run_figure5", "format_figure5"]
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    #: workload -> policy -> outcome (unfairness field is the figure)
+    cells: dict[str, dict[str, PolicyOutcome]]
+
+    def avg_unfairness(self, policy: str) -> float:
+        return mean([c[policy.upper()].unfairness for c in self.cells.values()])
+
+    def reduction_vs(self, policy: str, baseline: str) -> float:
+        """Average relative unfairness reduction of ``policy`` vs baseline
+        (positive = fairer, the way the paper quotes it)."""
+        return 1.0 - self.avg_unfairness(policy) / self.avg_unfairness(baseline)
+
+
+def run_figure5(
+    ctx: ExperimentContext,
+    policies: tuple[str, ...] = POLICIES,
+) -> Figure5Result:
+    """Regenerate Figure 5 (4-core MEM workloads)."""
+    cells = {
+        mix.name: {p: ctx.outcome(mix, p) for p in policies}
+        for mix in mixes_for(4, "MEM")
+    }
+    return Figure5Result(cells=cells)
+
+
+def format_figure5(res: Figure5Result) -> str:
+    policies = next(iter(res.cells.values())).keys()
+    lines = ["== Figure 5: unfairness (max/min slowdown), 4-core MEM =="]
+    lines.append("workload   " + "".join(f"{p:>10}" for p in policies))
+    for wl, by_policy in res.cells.items():
+        lines.append(
+            f"{wl:<11}"
+            + "".join(f"{by_policy[p].unfairness:>10.2f}" for p in policies)
+        )
+    lines.append(
+        "average:   "
+        + "".join(f"{res.avg_unfairness(p):>10.2f}" for p in policies)
+    )
+    if "ME-LREQ" in policies:
+        for base in ("HF-RF", "RR", "LREQ"):
+            if base in policies:
+                lines.append(
+                    f"ME-LREQ unfairness reduction vs {base}: "
+                    f"{res.reduction_vs('ME-LREQ', base):+.1%}"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Shared experiment machinery.
+
+:class:`ExperimentContext` owns the knobs every experiment shares — the
+instruction budget, warmup, seeds and system configuration — plus caches:
+one :class:`~repro.metrics.memory_efficiency.MeProfiler` per seed, and a
+memo of evaluation runs keyed by ``(workload, policy, seed)`` so that
+experiments which share cells (e.g. Figure 2's speedups and Figure 4's
+latencies over the same runs) never simulate twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.config import SystemConfig
+from repro.core.policy import SchedulingPolicy
+from repro.core.registry import make_policy
+from repro.metrics.memory_efficiency import MeProfiler
+from repro.metrics.speedup import smt_speedup, unfairness
+from repro.sim.runner import DEFAULT_WARMUP, RunResult, run_multicore
+from repro.workloads.mixes import Mix, workload_by_name
+
+__all__ = ["ExperimentContext", "PolicyOutcome", "mean"]
+
+
+def mean(xs: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input — a silent 0 would read as
+    a real experimental result)."""
+    if not xs:
+        raise ValueError("mean of empty sequence")
+    return sum(xs) / len(xs)
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """One (workload, policy) cell, averaged over the context's seeds."""
+
+    workload: str
+    policy: str
+    smt_speedup: float
+    unfairness: float
+    avg_read_latency: float
+    per_core_latency: tuple[float, ...]
+    per_core_ipc: tuple[float, ...]
+
+    def gain_over(self, baseline: "PolicyOutcome") -> float:
+        """Relative SMT-speedup gain vs a baseline outcome (paper's %)."""
+        return self.smt_speedup / baseline.smt_speedup - 1.0
+
+
+@dataclass
+class ExperimentContext:
+    """Budget/seed/config bundle with run caching.
+
+    Parameters
+    ----------
+    inst_budget:
+        Instructions measured per core (the 100 M-instruction SimPoint
+        analogue, scaled down; DESIGN.md §2).
+    warmup_insts:
+        Warmup before measurement (covers the trace prologue).
+    seeds:
+        Every cell is averaged over these seeds; more seeds = less noise.
+    profile_budget:
+        Budget for ME-profiling runs (the paper uses a *shorter* slice for
+        profiling than for evaluation: 10 M vs 100 M).
+    """
+
+    inst_budget: int = 30_000
+    warmup_insts: int = DEFAULT_WARMUP
+    seeds: tuple[int, ...] = (1, 2)
+    profile_budget: int = 15_000
+    config: SystemConfig = field(default_factory=SystemConfig)
+    lookahead: int = 256
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ValueError("need at least one seed")
+        self._profilers: dict[int, MeProfiler] = {}
+        self._runs: dict[tuple[str, str, int], RunResult] = {}
+
+    # -- profiling --------------------------------------------------------------
+
+    def profiler(self, seed: int) -> MeProfiler:
+        prof = self._profilers.get(seed)
+        if prof is None:
+            prof = MeProfiler(self.profile_budget, seed=seed, config=self.config)
+            self._profilers[seed] = prof
+        return prof
+
+    def me_values(self, mix: Mix, seed: int) -> tuple[float, ...]:
+        return self.profiler(seed).me_values(mix)
+
+    def single_ipcs(self, mix: Mix, seed: int) -> tuple[float, ...]:
+        return self.profiler(seed).single_ipcs(mix)
+
+    # -- evaluation runs -----------------------------------------------------------
+
+    def _make_policy(self, name: str, mix: Mix, seed: int) -> SchedulingPolicy:
+        key = name.upper()
+        if key in ("ME", "ME-LREQ"):
+            return make_policy(key, me_values=self.me_values(mix, seed))
+        return make_policy(key)
+
+    def run(self, workload: str | Mix, policy: str, seed: int) -> RunResult:
+        """One evaluation run (cached)."""
+        mix = workload_by_name(workload) if isinstance(workload, str) else workload
+        key = (mix.name, policy.upper(), seed)
+        hit = self._runs.get(key)
+        if hit is not None:
+            return hit
+        result = run_multicore(
+            mix,
+            self._make_policy(policy, mix, seed),
+            inst_budget=self.inst_budget,
+            seed=seed,
+            warmup_insts=self.warmup_insts,
+            config=self.config,
+            lookahead=self.lookahead,
+        )
+        self._runs[key] = result
+        return result
+
+    def outcome(self, workload: str | Mix, policy: str) -> PolicyOutcome:
+        """Seed-averaged metrics for one (workload, policy) cell."""
+        mix = workload_by_name(workload) if isinstance(workload, str) else workload
+        speedups: list[float] = []
+        unfairs: list[float] = []
+        lats: list[float] = []
+        core_lats = [0.0] * mix.num_cores
+        core_ipcs = [0.0] * mix.num_cores
+        for seed in self.seeds:
+            r = self.run(mix, policy, seed)
+            single = self.single_ipcs(mix, seed)
+            speedups.append(smt_speedup(r.ipcs(), single))
+            unfairs.append(unfairness(r.ipcs(), single))
+            lats.append(r.avg_read_latency())
+            for i, c in enumerate(r.per_core):
+                core_lats[i] += c.avg_read_latency / len(self.seeds)
+                core_ipcs[i] += c.ipc / len(self.seeds)
+        return PolicyOutcome(
+            workload=mix.name,
+            policy=policy.upper(),
+            smt_speedup=mean(speedups),
+            unfairness=mean(unfairs),
+            avg_read_latency=mean(lats),
+            per_core_latency=tuple(core_lats),
+            per_core_ipc=tuple(core_ipcs),
+        )

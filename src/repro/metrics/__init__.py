@@ -1,0 +1,24 @@
+"""Evaluation metrics.
+
+* :mod:`repro.metrics.speedup` — the SMT-speedup performance metric
+  (Snavely et al., used in paper Section 4.1) and the unfairness metric
+  (max/min slowdown, Section 5.3);
+* :mod:`repro.metrics.memory_efficiency` — profiling of Eq. 1's
+  ``ME = IPC_single / BW_single`` with result caching;
+* :mod:`repro.metrics.stats` — generic accumulators (mean/max histograms)
+  used by ablation experiments.
+"""
+
+from repro.metrics.memory_efficiency import MeProfiler, memory_efficiency
+from repro.metrics.speedup import slowdowns, smt_speedup, unfairness
+from repro.metrics.stats import OnlineStat, WindowedCounter
+
+__all__ = [
+    "MeProfiler",
+    "OnlineStat",
+    "WindowedCounter",
+    "memory_efficiency",
+    "slowdowns",
+    "smt_speedup",
+    "unfairness",
+]

@@ -1,0 +1,63 @@
+"""SMT speedup and unfairness metrics.
+
+The paper compares scheduling schemes with the *SMT speedup* of Snavely et
+al. (Section 4.1)::
+
+    speedup = sum_i IPC_multi[i] / IPC_single[i]
+
+which weights every application by its own single-core performance and so
+cannot be gamed by starving low-ILP programs.  Fairness (Section 5.3,
+after Gabor et al. and Mutlu & Moscibroda) is measured as *unfairness*::
+
+    unfairness = max_i slowdown[i] / min_i slowdown[i]
+    slowdown[i] = IPC_single[i] / IPC_multi[i]
+
+1.0 is perfectly fair; larger is worse.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["smt_speedup", "slowdowns", "unfairness"]
+
+
+def _check(ipc_multi: Sequence[float], ipc_single: Sequence[float]) -> None:
+    if len(ipc_multi) != len(ipc_single):
+        raise ValueError(
+            f"core count mismatch: {len(ipc_multi)} vs {len(ipc_single)}"
+        )
+    if not ipc_multi:
+        raise ValueError("need at least one core")
+    if any(x <= 0 for x in ipc_single):
+        raise ValueError("single-core IPC must be positive")
+    if any(x <= 0 for x in ipc_multi):
+        raise ValueError("multi-core IPC must be positive")
+
+
+def smt_speedup(ipc_multi: Sequence[float], ipc_single: Sequence[float]) -> float:
+    """Snavely SMT speedup; an ideal n-core run scores n.
+
+    >>> smt_speedup([1.0, 2.0], [2.0, 4.0])
+    1.0
+    """
+    _check(ipc_multi, ipc_single)
+    return sum(m / s for m, s in zip(ipc_multi, ipc_single))
+
+
+def slowdowns(
+    ipc_multi: Sequence[float], ipc_single: Sequence[float]
+) -> tuple[float, ...]:
+    """Per-core slowdown relative to running alone (>= 1 in practice)."""
+    _check(ipc_multi, ipc_single)
+    return tuple(s / m for m, s in zip(ipc_multi, ipc_single))
+
+
+def unfairness(ipc_multi: Sequence[float], ipc_single: Sequence[float]) -> float:
+    """Max-over-min slowdown; 1.0 is perfectly fair.
+
+    >>> unfairness([1.0, 1.0], [2.0, 2.0])
+    1.0
+    """
+    s = slowdowns(ipc_multi, ipc_single)
+    return max(s) / min(s)

@@ -1,0 +1,145 @@
+"""Generic statistics accumulators.
+
+Small, dependency-free helpers used by experiments and ablations:
+:class:`OnlineStat` is a Welford mean/variance accumulator (numerically
+stable, single pass); :class:`WindowedCounter` tracks a counter's delta
+over measurement windows (the online-ME sampling primitive);
+:class:`ReservoirSampler` keeps a fixed-size uniform sample of an
+unbounded observation stream (latency percentiles without storing every
+request).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.rng import RngStream
+
+__all__ = ["OnlineStat", "ReservoirSampler", "WindowedCounter"]
+
+
+class OnlineStat:
+    """Single-pass mean / variance / extrema (Welford's algorithm)."""
+
+    __slots__ = ("n", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one observation in."""
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0 for fewer than 2 points."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStat") -> None:
+        """Fold another accumulator in (parallel Welford merge)."""
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n, self._mean, self._m2 = other.n, other._mean, other._m2
+            self.min, self.max = other.min, other.max
+            return
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / n
+        self._mean += delta * other.n / n
+        self.n = n
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+class ReservoirSampler:
+    """Algorithm-R reservoir sampling with deterministic seeding.
+
+    Keeps a uniform random subset of size ``capacity`` from however many
+    observations flow through, so percentile queries over millions of read
+    latencies cost O(capacity) memory.
+
+    >>> r = ReservoirSampler(4, seed=1)
+    >>> for x in range(100): r.add(float(x))
+    >>> len(r.sample) <= 4
+    True
+    """
+
+    __slots__ = ("capacity", "sample", "seen", "_rng")
+
+    def __init__(self, capacity: int = 2048, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.sample: list[float] = []
+        self.seen = 0
+        self._rng = RngStream(seed, "reservoir")
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the reservoir."""
+        self.seen += 1
+        if len(self.sample) < self.capacity:
+            self.sample.append(x)
+            return
+        j = self._rng.randint(0, self.seen)
+        if j < self.capacity:
+            self.sample[j] = x
+
+    def percentile(self, p: float) -> float:
+        """Approximate ``p``-th percentile (0-100) of the stream."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.sample:
+            raise ValueError("no observations")
+        xs = sorted(self.sample)
+        idx = round(p / 100 * (len(xs) - 1))
+        return xs[idx]
+
+    def clear(self) -> None:
+        self.sample.clear()
+        self.seen = 0
+
+
+class WindowedCounter:
+    """Delta tracker over measurement windows.
+
+    >>> w = WindowedCounter()
+    >>> w.sample(10)
+    10
+    >>> w.sample(25)
+    15
+    """
+
+    __slots__ = ("_last",)
+
+    def __init__(self, initial: int = 0) -> None:
+        self._last = initial
+
+    def sample(self, current: int) -> int:
+        """Return the delta since the previous sample and advance."""
+        if current < self._last:
+            raise ValueError(
+                f"counter went backwards: {current} < {self._last}"
+            )
+        delta = current - self._last
+        self._last = current
+        return delta

@@ -1,0 +1,97 @@
+"""Discrete-event engine.
+
+A minimal binary-heap scheduler in the CPU clock domain.  Components
+schedule ``fn(now, *args)`` callbacks at absolute cycles; the engine pops
+them in (cycle, insertion-order) order, so same-cycle events run in the
+order they were scheduled — deterministic, which the reproducibility tests
+rely on.
+
+Events may be scheduled in the past only up to the current cycle (they are
+clamped to ``now``); attempting to go genuinely backwards would mean a
+causality bug, and clamping keeps rounding slack from small analytic
+models from crashing a run while the invariant `engine.now` never
+decreases still holds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["EventEngine"]
+
+
+class EventEngine:
+    """Binary-heap discrete-event scheduler."""
+
+    __slots__ = ("now", "_heap", "_seq", "events_processed")
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, Callable, tuple]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def schedule(self, cycle: int, fn: Callable, *args) -> None:
+        """Run ``fn(now, *args)`` at ``cycle`` (clamped to the present)."""
+        when = cycle if cycle > self.now else self.now
+        heapq.heappush(self._heap, (when, self._seq, fn, args))
+        self._seq += 1
+
+    @property
+    def pending(self) -> int:
+        """Number of queued events."""
+        return len(self._heap)
+
+    def peek_cycle(self) -> int | None:
+        """Cycle of the next event, or ``None`` when idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Process one event; returns ``False`` when the queue is empty."""
+        if not self._heap:
+            return False
+        when, _, fn, args = heapq.heappop(self._heap)
+        self.now = when
+        self.events_processed += 1
+        fn(when, *args)
+        return True
+
+    def run(
+        self,
+        until: Callable[[], bool] | None = None,
+        max_cycles: int | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Drain events until the queue empties or a bound is hit.
+
+        Parameters
+        ----------
+        until:
+            Optional predicate checked after every event; ``True`` stops.
+        max_cycles / max_events:
+            Safety bounds; exceeding ``max_cycles`` stops cleanly (runs are
+            expected to finish via ``until``), exceeding ``max_events``
+            raises — that means a livelock bug.
+        """
+        start_events = self.events_processed
+        while self._heap:
+            if max_cycles is not None and self._heap[0][0] > max_cycles:
+                return
+            self.step()
+            if until is not None and until():
+                return
+            if (
+                max_events is not None
+                and self.events_processed - start_events > max_events
+            ):
+                raise RuntimeError(
+                    f"event budget exceeded ({max_events}); livelock suspected"
+                )
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock."""
+        self._heap.clear()
+        self.now = 0
+        self._seq = 0
+        self.events_processed = 0

@@ -1,0 +1,149 @@
+"""Parallel experiment sweeps over a process pool.
+
+A Figure 2-style sweep is embarrassingly parallel — every
+(workload, policy, seed) cell is an independent simulation — so this
+module distributes cells over a ``multiprocessing`` pool (per the
+HPC-Python guidance: processes, not threads, for CPU-bound pure-Python
+work).  Cells are described by picklable :class:`SweepCell` records;
+profiling runs (single-core ME / IPC baselines) are computed inside each
+worker and memoised per process via a worker-local cache, so a sweep
+touches each application at most once per worker.
+
+Typical use::
+
+    cells = [SweepCell(w, p, s) for w in ("4MEM-1", "4MEM-2")
+             for p in ("HF-RF", "ME-LREQ") for s in (1, 2)]
+    results = run_sweep(cells, inst_budget=30_000, workers=4)
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.metrics.speedup import smt_speedup, unfairness
+from repro.sim.runner import DEFAULT_WARMUP, run_multicore
+from repro.workloads.mixes import workload_by_name
+
+__all__ = ["SweepCell", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One simulation to run: a (workload, policy, seed) triple."""
+
+    workload: str
+    policy: str
+    seed: int
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one cell."""
+
+    cell: SweepCell
+    smt_speedup: float
+    unfairness: float
+    avg_read_latency: float
+    per_core_ipc: tuple[float, ...]
+
+
+# Worker-local state: one profiler per (budget, seed) per process.  Plain
+# module globals are safe here because each pool worker is its own process.
+_WORKER_CFG: dict = {}
+_WORKER_PROFILERS: dict = {}
+
+
+def _init_worker(inst_budget: int, profile_budget: int, warmup: int) -> None:
+    _WORKER_CFG["inst_budget"] = inst_budget
+    _WORKER_CFG["profile_budget"] = profile_budget
+    _WORKER_CFG["warmup"] = warmup
+
+
+def _profiler(seed: int):
+    # Imported here: repro.metrics imports repro.sim.runner, so a
+    # module-level import from repro.sim would be circular.
+    from repro.metrics.memory_efficiency import MeProfiler
+
+    prof = _WORKER_PROFILERS.get(seed)
+    if prof is None:
+        prof = MeProfiler(_WORKER_CFG["profile_budget"], seed=seed)
+        _WORKER_PROFILERS[seed] = prof
+    return prof
+
+
+def _run_cell(cell: SweepCell) -> SweepResult:
+    mix = workload_by_name(cell.workload)
+    prof = _profiler(cell.seed)
+    me = (
+        prof.me_values(mix)
+        if cell.policy.upper() in ("ME", "ME-LREQ")
+        else None
+    )
+    result = run_multicore(
+        mix,
+        cell.policy,
+        inst_budget=_WORKER_CFG["inst_budget"],
+        seed=cell.seed,
+        me_values=me,
+        warmup_insts=_WORKER_CFG["warmup"],
+    )
+    single = prof.single_ipcs(mix)
+    return SweepResult(
+        cell=cell,
+        smt_speedup=smt_speedup(result.ipcs(), single),
+        unfairness=unfairness(result.ipcs(), single),
+        avg_read_latency=result.avg_read_latency(),
+        per_core_ipc=result.ipcs(),
+    )
+
+
+def run_sweep(
+    cells: Iterable[SweepCell],
+    inst_budget: int = 30_000,
+    profile_budget: int | None = None,
+    warmup_insts: int = DEFAULT_WARMUP,
+    workers: int | None = None,
+) -> list[SweepResult]:
+    """Run every cell, fanning out over a process pool.
+
+    ``workers=None`` uses ``os.cpu_count()``; ``workers=1`` (or a single
+    cell) runs inline — useful under debuggers and on platforms where
+    fork is unavailable. Results are returned in the input cell order.
+    """
+    cell_list = list(cells)
+    if not cell_list:
+        return []
+    if profile_budget is None:
+        profile_budget = max(inst_budget // 2, 5_000)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers <= 1 or len(cell_list) == 1:
+        _init_worker(inst_budget, profile_budget, warmup_insts)
+        try:
+            return [_run_cell(c) for c in cell_list]
+        finally:
+            _WORKER_PROFILERS.clear()
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    with ctx.Pool(
+        processes=min(workers, len(cell_list)),
+        initializer=_init_worker,
+        initargs=(inst_budget, profile_budget, warmup_insts),
+    ) as pool:
+        return pool.map(_run_cell, cell_list)
+
+
+def grid(
+    workloads: Sequence[str],
+    policies: Sequence[str],
+    seeds: Sequence[int],
+) -> list[SweepCell]:
+    """Cartesian-product cell list (workload-major order)."""
+    return [
+        SweepCell(w, p, s)
+        for w in workloads
+        for p in policies
+        for s in seeds
+    ]

@@ -1,0 +1,240 @@
+"""Multi-core system assembly.
+
+Builds the full simulated machine from a :class:`~repro.config.SystemConfig`:
+event engine, DDR2 DRAM, policy-driven memory controller, shared cache
+hierarchy and one trace-driven core per workload stream — then runs it until
+every core has committed its instruction budget.
+
+Methodology notes (paper Section 4.1):
+
+* statistics for each core freeze the moment it commits its budget (its
+  ``finish_cycle``); the core *keeps executing* so the other cores continue
+  to see its memory traffic — the paper's 'reload and keep running';
+* the run ends when the last core crosses its budget;
+* if the active policy is :class:`~repro.core.me_lreq.OnlineMeLreqPolicy`,
+  the system drives its measurement window from per-core commit and DRAM
+  byte counters, modelling the performance-counter loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.config import SystemConfig
+from repro.controller.controller import MemoryController
+from repro.core.me_lreq import OnlineMeLreqPolicy
+from repro.core.policy import SchedulingPolicy
+from repro.cpu.core_model import TraceCore
+from repro.cpu.trace import TraceSource
+from repro.dram.dram_system import DramSystem
+from repro.sim.engine import EventEngine
+from repro.util.rng import RngStream
+
+__all__ = ["CoreSnapshot", "MultiCoreSystem"]
+
+
+@dataclass
+class CoreSnapshot:
+    """Controller-side counters for one core, frozen at a commit crossing."""
+
+    cycle: int
+    read_count: int
+    read_latency_sum: int
+    bytes_read: int
+    bytes_written: int
+
+    def minus(self, start: "CoreSnapshot") -> "CoreSnapshot":
+        """Counter deltas over a measurement window (finish - warmup)."""
+        return CoreSnapshot(
+            cycle=self.cycle - start.cycle,
+            read_count=self.read_count - start.read_count,
+            read_latency_sum=self.read_latency_sum - start.read_latency_sum,
+            bytes_read=self.bytes_read - start.bytes_read,
+            bytes_written=self.bytes_written - start.bytes_written,
+        )
+
+    @property
+    def avg_read_latency(self) -> float:
+        return self.read_latency_sum / self.read_count if self.read_count else 0.0
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+class MultiCoreSystem:
+    """One fully-assembled simulated machine."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        policy: SchedulingPolicy,
+        traces: Sequence[TraceSource],
+        target_insts: int,
+        warmup_insts: int = 0,
+        seed: int = 0,
+        lookahead: int = 256,
+        controller_kind: str = "shared",
+        policy_factory=None,
+    ) -> None:
+        """``controller_kind='shared'`` is the paper's single controller;
+        ``'split'`` builds one controller per logic channel (an
+        architectural ablation) and requires ``policy_factory`` — a
+        zero-argument callable producing a fresh policy per channel."""
+        config.validate()
+        if len(traces) != config.num_cores:
+            raise ValueError(
+                f"{len(traces)} traces for {config.num_cores} cores"
+            )
+        self.config = config
+        self.policy = policy
+        self.target_insts = target_insts
+        self.warmup_insts = warmup_insts
+        self.rng = RngStream(seed, "system")
+        self.engine = EventEngine()
+        self.dram = DramSystem(
+            config.dram_topology, config.dram_timing, config.line_bytes
+        )
+        if controller_kind == "shared":
+            self.controller = MemoryController(
+                config.controller,
+                self.dram,
+                policy,
+                config.num_cores,
+                self.engine,
+                self.rng.child("controller"),
+                line_bytes=config.line_bytes,
+            )
+        elif controller_kind == "split":
+            from repro.controller.split import SplitControllerGroup
+
+            if policy_factory is None:
+                raise ValueError("split controllers need a policy_factory")
+            policies = [
+                policy_factory() for _ in range(config.dram_topology.logic_channels)
+            ]
+            self.controller = SplitControllerGroup(
+                config.controller,
+                self.dram,
+                policies,
+                config.num_cores,
+                self.engine,
+                self.rng.child("controller"),
+                line_bytes=config.line_bytes,
+            )
+        else:
+            raise ValueError(f"unknown controller_kind {controller_kind!r}")
+        self.hierarchy = CacheHierarchy(config, self.controller, config.num_cores)
+        self.cores = [
+            TraceCore(
+                core_id=i,
+                config=config.core,
+                trace=traces[i],
+                hierarchy=self.hierarchy,
+                engine=self.engine,
+                target_insts=target_insts,
+                warmup_insts=warmup_insts,
+                lookahead=lookahead,
+            )
+            for i in range(config.num_cores)
+        ]
+        self.start_snapshots: list[CoreSnapshot | None] = [None] * config.num_cores
+        self.snapshots: list[CoreSnapshot | None] = [None] * config.num_cores
+        for core in self.cores:
+            core.on_warmup = self._make_snapshot_hook(core.core_id, self.start_snapshots)
+            core.on_finish = self._make_snapshot_hook(core.core_id, self.snapshots)
+        if warmup_insts == 0:
+            # Warmup crossing is immediate; snapshot the pristine counters.
+            for i in range(config.num_cores):
+                self.start_snapshots[i] = CoreSnapshot(0, 0, 0, 0, 0)
+        # Online-ME support: a recurring measurement window.
+        self._online = policy if isinstance(policy, OnlineMeLreqPolicy) else None
+        self._win_committed = [0] * config.num_cores
+        self._win_bytes = [0] * config.num_cores
+        self._win_start = 0
+
+    # -- finish bookkeeping -----------------------------------------------------
+
+    def _make_snapshot_hook(self, core_id: int, store: list):
+        def hook(core: TraceCore) -> None:
+            st = self.controller.stats
+            cycle = (
+                core.finish_cycle
+                if store is self.snapshots
+                else core.warmup_cycle
+            )
+            store[core_id] = CoreSnapshot(
+                cycle=cycle,
+                read_count=st.read_count[core_id],
+                read_latency_sum=st.read_latency_sum[core_id],
+                bytes_read=st.bytes_read[core_id],
+                bytes_written=st.bytes_written[core_id],
+            )
+
+        return hook
+
+    def window(self, core_id: int) -> CoreSnapshot:
+        """Measurement-window deltas for one core (finish - warmup)."""
+        end = self.snapshots[core_id]
+        start = self.start_snapshots[core_id]
+        if end is None or start is None:
+            raise RuntimeError(f"core {core_id} has not finished")
+        return end.minus(start)
+
+    @property
+    def all_finished(self) -> bool:
+        return all(s is not None for s in self.snapshots)
+
+    # -- online-ME window -----------------------------------------------------------
+
+    def _window_tick(self, now: int) -> None:
+        policy = self._online
+        assert policy is not None
+        committed = [c.committed for c in self.cores]
+        st = self.controller.stats
+        bytes_now = [
+            st.bytes_read[i] + st.bytes_written[i]
+            for i in range(self.config.num_cores)
+        ]
+        d_committed = [
+            committed[i] - self._win_committed[i]
+            for i in range(self.config.num_cores)
+        ]
+        d_bytes = [
+            bytes_now[i] - self._win_bytes[i] for i in range(self.config.num_cores)
+        ]
+        policy.observe_window(d_committed, d_bytes, now - self._win_start)
+        self._win_committed = committed
+        self._win_bytes = bytes_now
+        self._win_start = now
+        if not self.all_finished:
+            self.engine.schedule(now + policy.window, self._window_tick)
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, max_cycles: int | None = None, max_events: int | None = None) -> None:
+        """Run until every core commits its budget (or a bound trips)."""
+        for core in self.cores:
+            core.start()
+        if self._online is not None:
+            self.engine.schedule(self._online.window, self._window_tick)
+        self.engine.run(
+            until=lambda: self.all_finished,
+            max_cycles=max_cycles,
+            max_events=max_events,
+        )
+        for core in self.cores:
+            core.stop()
+        if not self.all_finished:
+            unfinished = [i for i, s in enumerate(self.snapshots) if s is None]
+            raise RuntimeError(
+                f"cores {unfinished} did not reach {self.target_insts} "
+                f"instructions within the simulation bounds"
+            )
+
+    @property
+    def end_cycle(self) -> int:
+        """Cycle the last core crossed its budget."""
+        return max(s.cycle for s in self.snapshots)

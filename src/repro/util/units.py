@@ -1,0 +1,62 @@
+"""Unit conversions between wall-clock quantities and CPU cycles.
+
+The whole simulator runs in a single clock domain: CPU cycles at the
+paper's 3.2 GHz core clock (Table 1).  DDR2 timing parameters given in
+nanoseconds are converted once, at configuration time, with
+:func:`ns_to_cycles`; bandwidth is reported in GB/s exactly as the paper's
+memory-efficiency definition (Eq. 1) requires.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CPU_FREQ_HZ",
+    "ns_to_cycles",
+    "seconds",
+    "bytes_per_sec_to_gbps",
+    "gbps",
+]
+
+#: Core clock from Table 1 of the paper.
+CPU_FREQ_HZ: float = 3.2e9
+
+
+def ns_to_cycles(ns: float, freq_hz: float = CPU_FREQ_HZ) -> int:
+    """Convert nanoseconds to an integral number of CPU cycles (ceil).
+
+    Rounding up is the conservative hardware choice: a DRAM timing
+    constraint may never be violated by rounding.
+
+    >>> ns_to_cycles(12.5)   # tRP/tRCD/CL at 3.2 GHz
+    40
+    >>> ns_to_cycles(15.0)   # controller overhead
+    48
+    """
+    if ns < 0:
+        raise ValueError(f"negative duration: {ns} ns")
+    cycles = ns * freq_hz / 1e9
+    whole = int(cycles)
+    return whole if cycles == whole else whole + 1
+
+
+def seconds(cycles: int, freq_hz: float = CPU_FREQ_HZ) -> float:
+    """Convert a cycle count to seconds."""
+    if cycles < 0:
+        raise ValueError(f"negative cycle count: {cycles}")
+    return cycles / freq_hz
+
+
+def bytes_per_sec_to_gbps(bytes_per_sec: float) -> float:
+    """Bytes/second to GB/s (decimal gigabytes, as in '12.8GB/s/channel')."""
+    return bytes_per_sec / 1e9
+
+
+def gbps(total_bytes: float, cycles: int, freq_hz: float = CPU_FREQ_HZ) -> float:
+    """Average bandwidth in GB/s of ``total_bytes`` moved over ``cycles``.
+
+    This is the ``BW_single[i]`` term of the paper's Eq. 1.
+    Returns 0.0 for an empty interval.
+    """
+    if cycles <= 0:
+        return 0.0
+    return bytes_per_sec_to_gbps(total_bytes / seconds(cycles, freq_hz))

@@ -1,0 +1,261 @@
+"""Synthetic application reference streams.
+
+Each application is a stochastic generator of :class:`~repro.cpu.trace.MemOp`
+records built from three reference components:
+
+* **miss stream** — references guaranteed (or overwhelmingly likely) to
+  miss the 4 MB L2.  Streaming codes (``swim``/``applu``...) walk
+  ``n_streams`` concurrent array streams, each advancing by
+  ``stride_lines`` (2 KB default): under the cache-line-interleaved
+  address map one stream stays inside a single (channel, bank) and visits
+  consecutive row columns, so a burst served core-continuously produces
+  DRAM row-buffer hits — the spatial locality the paper's Section 1
+  says core-aware scheduling can exploit.  Pointer chasers (``mcf``) draw
+  *random* fresh lines instead (no row locality).  Misses arrive in
+  bursts whose mean length models the application's memory-level
+  parallelism; a burst round-robins across the streams.
+* **L2-resident set** — a region larger than L1 but comfortably inside the
+  L2; references here are L1 misses / L2 hits.
+* **hot set** — a small region that lives in L1.
+
+The per-application knobs (:class:`~repro.workloads.spec2000.AppProfile`)
+control the blend.  Determinism: every stream derives from the experiment
+seed plus the application code and a *phase* label, so profiling and
+evaluation use different, reproducible instruction slices — the analogue of
+the paper's distinct SimPoints for profiling vs evaluation.
+
+Address-space layout: each core's generator gets a disjoint base address
+(bits well above any cache/DRAM index), so multiprogrammed applications
+never share lines but do contend for L2 sets, channels, banks and rows,
+exactly like the paper's setup.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.trace import MemOp
+from repro.util.rng import RngStream
+from repro.workloads.spec2000 import AppProfile
+
+__all__ = ["SyntheticApp", "make_trace"]
+
+#: separation between per-core address spaces (1 TiB apart)
+CORE_ADDR_STRIDE = 1 << 40
+
+#: size of the region random (pointer-chase) misses are drawn from; huge
+#: relative to the 4 MB L2 (65536 lines) so reuse is negligible
+CHASE_REGION_LINES = 1 << 24  # 1 GiB worth of lines
+
+#: number of distinct regions the sequential stream may jump between
+STREAM_REGIONS = 1 << 18
+
+#: a sequential stream jumps to a fresh region after this many lines, so
+#: one stream cannot monopolise a row forever
+STREAM_RUN_LINES = 4096
+
+LINE = 64
+
+# Disjoint line-index bases for the four reference components, all far
+# below CORE_ADDR_STRIDE so per-core spaces stay disjoint too.
+_HOT_BASE_LINE = 1 << 30
+_L2SET_BASE_LINE = 2 << 30
+_CHASE_BASE_LINE = 3 << 30
+_STREAM_BASE_LINE = 4 << 30
+
+#: per-instance random placement span for the resident regions, in lines.
+#: Without it every core's hot/L2 sets would alias onto identical cache
+#: sets (core address spaces differ only in very high bits) and the shared
+#: L2 would thrash structurally at 4+ cores.
+_PLACEMENT_SPAN = 1 << 16
+
+
+class SyntheticApp:
+    """Infinite reference stream for one application on one core.
+
+    Implements the :class:`~repro.cpu.trace.TraceSource` protocol.
+
+    Parameters
+    ----------
+    profile:
+        The application's parameters (see :mod:`repro.workloads.spec2000`).
+    rng:
+        Deterministic stream; callers derive it from
+        ``(seed, app_code, phase, core_id)``.
+    base_addr:
+        Start of this instance's private address space.
+    """
+
+    __slots__ = (
+        "profile",
+        "rng",
+        "base_addr",
+        "_gap_p",
+        "_burst_start_p",
+        "_burst_cont_p",
+        "_streams",
+        "_stream_idx",
+        "_burst_left",
+        "_hot_lines",
+        "_l2_lines",
+        "_hot_base",
+        "_l2_base",
+        "_prologue_left",
+        "_phase_scale",
+        "ops_generated",
+    )
+
+    def __init__(self, profile: AppProfile, rng: RngStream, base_addr: int = 0) -> None:
+        if base_addr < 0:
+            raise ValueError("base_addr must be >= 0")
+        self.profile = profile
+        self.rng = rng
+        self.base_addr = base_addr
+        p = profile
+        # Mean gap between memory ops: (1 - mem_ratio)/mem_ratio plain
+        # instructions per memory instruction.
+        mean_gap = (1.0 - p.mem_ratio) / p.mem_ratio
+        self._gap_p = 1.0 / (1.0 + mean_gap)
+        # Miss bursts: expected misses per kilo-instruction is p.mpki; each
+        # burst carries ~burst_mean misses, ops per kinst is mem_ratio*1000.
+        ops_per_kinst = p.mem_ratio * 1000.0
+        bursts_per_kinst = p.mpki / max(p.burst_mean, 1.0)
+        self._burst_start_p = min(bursts_per_kinst / ops_per_kinst, 1.0)
+        # Geometric continuation keeps the mean burst length at burst_mean.
+        self._burst_cont_p = 1.0 - 1.0 / max(p.burst_mean, 1.0)
+        # Concurrent strided array streams: [line_cursor, accesses_left].
+        self._streams: list[list[int]] = [[0, 0] for _ in range(p.n_streams)]
+        self._stream_idx = 0
+        self._burst_left = 0
+        # Hot and L2-resident sets as fixed line pools.
+        hot_count = max(p.hot_kb * 1024 // LINE, 1)
+        l2_count = max(p.l2_set_kb * 1024 // LINE, 1)
+        self._hot_lines = hot_count
+        self._l2_lines = l2_count
+        # Random placement of the resident regions (cache-set diversity
+        # across program instances).
+        self._hot_base = _HOT_BASE_LINE + self.rng.randint(0, _PLACEMENT_SPAN)
+        self._l2_base = _L2SET_BASE_LINE + self.rng.randint(0, _PLACEMENT_SPAN)
+        # Initialisation prologue: touch every resident line once so the
+        # caches warm deterministically inside the measurement warmup
+        # window (models program initialisation; without it, 'resident'
+        # sets would leak cold misses through the whole run and swamp the
+        # per-application mpki targets).
+        self._prologue_left = hot_count + l2_count
+        self._phase_scale = 1.0
+        self.ops_generated = 0
+        for s in self._streams:
+            self._reseat_stream(s)
+
+    # -- address components ------------------------------------------------------
+
+    def _reseat_stream(self, stream: list[int]) -> None:
+        """Point one array stream at a fresh region of fresh lines.
+
+        The random sub-stride offset picks the (channel, bank) the stream
+        will live in — without it every stream would start at line 0 of
+        its region and alias onto channel 0 / bank 0.
+        """
+        region = self.rng.randint(0, STREAM_REGIONS)
+        offset = self.rng.randint(0, min(self.profile.stride_lines, STREAM_RUN_LINES))
+        stream[0] = _STREAM_BASE_LINE + region * STREAM_RUN_LINES + offset
+        stream[1] = max(STREAM_RUN_LINES // self.profile.stride_lines, 1)
+
+    def _miss_addr(self) -> int:
+        """A line expected to miss the L2 (strided-stream or random)."""
+        if self.rng.random() < self.profile.seq_frac:
+            # Round-robin across the concurrent array streams; each stream
+            # advances by stride_lines (same bank, next row column).
+            stream = self._streams[self._stream_idx]
+            self._stream_idx = (self._stream_idx + 1) % len(self._streams)
+            if stream[1] <= 0:
+                self._reseat_stream(stream)
+            line = stream[0]
+            stream[0] += self.profile.stride_lines
+            stream[1] -= 1
+        else:
+            line = _CHASE_BASE_LINE + self.rng.randint(0, CHASE_REGION_LINES)
+        return self.base_addr + line * LINE
+
+    def _hot_addr(self) -> int:
+        """A reference into the L1-resident hot set."""
+        line = self._hot_base + self.rng.randint(0, self._hot_lines)
+        return self.base_addr + line * LINE
+
+    def _l2_addr(self) -> int:
+        """A reference into the L2-resident (L1-missing) set."""
+        line = self._l2_base + self.rng.randint(0, self._l2_lines)
+        return self.base_addr + line * LINE
+
+    # -- TraceSource ---------------------------------------------------------------
+
+    def _prologue_op(self) -> MemOp:
+        """One initialisation touch: hot set first, then the L2 set."""
+        idx = (self._hot_lines + self._l2_lines) - self._prologue_left
+        self._prologue_left -= 1
+        if idx < self._hot_lines:
+            line = self._hot_base + idx
+        else:
+            line = self._l2_base + (idx - self._hot_lines)
+        gap = self.rng.geometric(self._gap_p) - 1
+        self.ops_generated += 1
+        return MemOp(gap, self.base_addr + line * LINE, False)
+
+    def _phase_tick(self) -> None:
+        """Alternate the miss-rate scale between program phases.
+
+        With ``phase_period`` ops per phase, even phases run at the
+        nominal mpki and odd phases at ``mpki * phase_mpki_scale`` — the
+        runtime behaviour change the online-ME extension is meant to
+        track (stationary by default: period 0).
+        """
+        p = self.profile
+        if p.phase_period <= 0:
+            return
+        phase = (self.ops_generated // p.phase_period) & 1
+        self._phase_scale = 1.0 if phase == 0 else p.phase_mpki_scale
+
+    def next_op(self) -> MemOp:
+        """Generate the next memory operation (never ``None``: infinite)."""
+        p = self.profile
+        rng = self.rng
+        if self._prologue_left > 0:
+            return self._prologue_op()
+        self._phase_tick()
+        if self._burst_left > 0:
+            # Inside a miss burst: tight gaps keep the misses within one
+            # ROB window so they overlap (that is what MLP means here).
+            self._burst_left -= 1
+            gap = rng.geometric(0.5) - 1  # mean 1
+            addr = self._miss_addr()
+            is_write = rng.random() < p.store_frac
+            self.ops_generated += 1
+            return MemOp(gap, addr, is_write)
+        gap = rng.geometric(self._gap_p) - 1
+        roll = rng.random()
+        if roll < self._burst_start_p * self._phase_scale:
+            # Start a new miss burst; this op is its first miss.
+            length = rng.geometric(1.0 - self._burst_cont_p)
+            self._burst_left = length - 1
+            addr = self._miss_addr()
+        elif roll < self._burst_start_p + p.l2_frac:
+            addr = self._l2_addr()
+        else:
+            addr = self._hot_addr()
+        is_write = rng.random() < p.store_frac
+        self.ops_generated += 1
+        return MemOp(gap, addr, is_write)
+
+
+def make_trace(
+    profile: AppProfile,
+    seed: int,
+    phase: str,
+    core_id: int = 0,
+) -> SyntheticApp:
+    """Build the reference stream for ``profile`` on ``core_id``.
+
+    ``phase`` separates instruction slices: profiling runs use
+    ``"profile"``, evaluation runs use ``"eval"`` — different derived RNG
+    streams, mirroring the paper's use of different SimPoints.
+    """
+    rng = RngStream(seed, "app", profile.code, phase, core_id)
+    return SyntheticApp(profile, rng, base_addr=(core_id + 1) * CORE_ADDR_STRIDE)

@@ -1,0 +1,74 @@
+"""Tests for the post-run analysis module."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import make_policy
+from repro.metrics.analysis import analyze
+from repro.sim.system import MultiCoreSystem
+from repro.workloads.mixes import workload_by_name
+from repro.workloads.synthetic import make_trace
+
+
+@pytest.fixture(scope="module")
+def finished_system():
+    mix = workload_by_name("2MEM-1")
+    cfg = SystemConfig(num_cores=2)
+    traces = [make_trace(a, 11, "eval", i) for i, a in enumerate(mix.apps())]
+    sys_ = MultiCoreSystem(
+        cfg, make_policy("HF-RF"), traces, 4000, warmup_insts=8000, seed=11
+    )
+    sys_.run()
+    return sys_, [a.name for a in mix.apps()]
+
+
+class TestAnalyze:
+    def test_requires_finished_run(self):
+        cfg = SystemConfig(num_cores=1)
+        mix = workload_by_name("2MEM-1")
+        sys_ = MultiCoreSystem(
+            cfg.with_cores(1),
+            make_policy("HF-RF"),
+            [make_trace(mix.apps()[0], 1, "eval", 0)],
+            1000,
+        )
+        with pytest.raises(ValueError):
+            analyze(sys_)
+
+    def test_channel_usage(self, finished_system):
+        sys_, names = finished_system
+        a = analyze(sys_, names)
+        assert len(a.channels) == 2
+        for ch in a.channels:
+            assert 0.0 <= ch.utilization <= 1.0
+            assert 0.0 <= ch.row_hit_rate <= 1.0
+            assert len(ch.per_bank) == 16
+            assert sum(ch.per_bank) == ch.transactions
+            assert ch.bank_imbalance >= 1.0
+
+    def test_core_usage(self, finished_system):
+        sys_, names = finished_system
+        a = analyze(sys_, names)
+        assert [c.app for c in a.cores] == names
+        for c in a.cores:
+            assert c.ipc > 0
+            assert c.bandwidth_gbps >= 0
+            assert 0 <= c.l1_miss_rate <= 1
+
+    def test_aggregate_bandwidth_positive(self, finished_system):
+        sys_, names = finished_system
+        a = analyze(sys_, names)
+        assert 0 < a.total_bandwidth_gbps < 25.6  # under the machine peak
+
+    def test_report_renders(self, finished_system):
+        sys_, names = finished_system
+        text = analyze(sys_, names).report()
+        assert "aggregate DRAM bandwidth" in text
+        assert "wupwise" in text
+        assert "ch0" in text and "ch1" in text
+
+    def test_bus_busy_consistent(self, finished_system):
+        sys_, names = finished_system
+        a = analyze(sys_, names)
+        for ch in a.channels:
+            assert ch.bus_busy_cycles == ch.transactions * 16

@@ -1,0 +1,174 @@
+"""Tests for the set-associative cache, including a model-based LRU check."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssocCache
+from repro.config import CacheConfig
+
+
+def small_cache(assoc=2, sets=4, line=64):
+    return SetAssocCache(
+        CacheConfig(size_bytes=assoc * sets * line, assoc=assoc, line_bytes=line)
+    )
+
+
+class TestBasics:
+    def test_miss_then_hit_after_fill(self):
+        c = small_cache()
+        assert not c.lookup(0)
+        c.fill(0)
+        assert c.lookup(0)
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_same_line_different_offsets(self):
+        c = small_cache()
+        c.fill(0)
+        assert c.lookup(63)
+        assert not c.lookup(64)
+
+    def test_probe_does_not_touch(self):
+        c = small_cache()
+        c.fill(0)
+        h, m = c.stats.hits, c.stats.misses
+        assert c.probe(0)
+        assert not c.probe(64)
+        assert (c.stats.hits, c.stats.misses) == (h, m)
+
+
+class TestLru:
+    def test_eviction_order(self):
+        c = small_cache(assoc=2, sets=1)
+        c.fill(0 * 64)
+        c.fill(1 * 64)
+        ev = c.fill(2 * 64)  # evicts line 0 (LRU)
+        assert ev == (0, False)
+        assert not c.probe(0)
+        assert c.probe(64) and c.probe(128)
+
+    def test_touch_refreshes_recency(self):
+        c = small_cache(assoc=2, sets=1)
+        c.fill(0 * 64)
+        c.fill(1 * 64)
+        c.lookup(0)  # refresh line 0
+        ev = c.fill(2 * 64)
+        assert ev == (64, False)  # line 1 is now LRU
+
+    def test_fill_existing_refreshes(self):
+        c = small_cache(assoc=2, sets=1)
+        c.fill(0 * 64)
+        c.fill(1 * 64)
+        assert c.fill(0 * 64) is None  # already resident
+        ev = c.fill(2 * 64)
+        assert ev == (64, False)
+
+
+class TestDirty:
+    def test_write_lookup_sets_dirty(self):
+        c = small_cache()
+        c.fill(0)
+        c.lookup(0, is_write=True)
+        assert c.is_dirty(0)
+
+    def test_dirty_eviction_reported(self):
+        c = small_cache(assoc=1, sets=1)
+        c.fill(0, dirty=True)
+        ev = c.fill(64)
+        assert ev == (0, True)
+        assert c.stats.dirty_evictions == 1
+
+    def test_set_dirty_absent_line(self):
+        c = small_cache()
+        assert not c.set_dirty(0)
+        c.fill(0)
+        assert c.set_dirty(0)
+        assert c.is_dirty(0)
+
+    def test_fill_merges_dirty_flag(self):
+        c = small_cache(assoc=2, sets=1)
+        c.fill(0, dirty=True)
+        c.fill(0, dirty=False)  # refresh must not clean the line
+        assert c.is_dirty(0)
+
+
+class TestInvalidate:
+    def test_invalidate(self):
+        c = small_cache()
+        c.fill(0)
+        assert c.invalidate(0)
+        assert not c.probe(0)
+        assert not c.invalidate(0)
+
+    def test_clear(self):
+        c = small_cache()
+        c.fill(0)
+        c.lookup(0)
+        c.clear()
+        assert c.resident_lines() == 0
+        assert c.stats.accesses == 0
+
+
+class TestSetMapping:
+    def test_set_index_uses_line_bits(self):
+        c = small_cache(assoc=2, sets=4)
+        assert c.set_index(0) == 0
+        assert c.set_index(64) == 1
+        assert c.set_index(4 * 64) == 0  # wraps
+
+    def test_distinct_sets_do_not_interfere(self):
+        c = small_cache(assoc=1, sets=4)
+        for i in range(4):
+            c.fill(i * 64)
+        assert all(c.probe(i * 64) for i in range(4))
+
+
+class TestModelBasedLru:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["fill", "lookup", "invalidate"]),
+                st.integers(min_value=0, max_value=15),  # line index
+                st.booleans(),  # dirty/write flag
+            ),
+            max_size=80,
+        )
+    )
+    def test_against_reference_model(self, ops):
+        """Drive the cache and a dict-based reference LRU in lockstep."""
+        assoc, sets = 2, 2
+        cache = small_cache(assoc=assoc, sets=sets)
+        # reference: per set, ordered dict line->dirty (front = LRU)
+        model = [dict() for _ in range(sets)]
+
+        for op, line, flag in ops:
+            addr = line * 64
+            s = line % sets
+            ref = model[s]
+            if op == "fill":
+                got = cache.fill(addr, dirty=flag)
+                if line in ref:
+                    ref[line] = ref.pop(line) or flag
+                    assert got is None
+                else:
+                    want_evict = None
+                    if len(ref) >= assoc:
+                        victim = next(iter(ref))
+                        want_evict = (victim * 64, ref.pop(victim))
+                    ref[line] = flag
+                    assert got == want_evict
+            elif op == "lookup":
+                got = cache.lookup(addr, is_write=flag)
+                if line in ref:
+                    ref[line] = ref.pop(line) or flag
+                    assert got
+                else:
+                    assert not got
+            else:  # invalidate
+                got = cache.invalidate(addr)
+                assert got == (line in ref)
+                ref.pop(line, None)
+            # residency must agree after every operation
+            for ln in range(16):
+                assert cache.probe(ln * 64) == (ln in model[ln % sets])

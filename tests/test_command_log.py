@@ -1,0 +1,115 @@
+"""Tests for the DRAM command-log reconstruction."""
+
+import pytest
+
+from repro.config import DramTimingConfig, DramTopologyConfig
+from repro.dram.command import CommandKind, CommandLog, DramCommand
+from repro.dram.dram_system import DramSystem
+
+T = DramTimingConfig()
+
+
+def logged_system():
+    """DramSystem with an attached CommandLog observer."""
+    dram = DramSystem(DramTopologyConfig(), T, 64)
+    log = CommandLog(T).attach(dram)
+    return dram, log
+
+
+class TestReconstruction:
+    def test_closed_bank_read(self):
+        dram, log = logged_system()
+        dram.execute(dram.coord(0), 0, is_write=False, keep_open=False)
+        kinds = [c.kind for c in sorted(log.commands)]
+        assert kinds == [CommandKind.ACTIVATE, CommandKind.READ_AP]
+
+    def test_row_hit_needs_no_activate(self):
+        dram, log = logged_system()
+        c = dram.coord(0)
+        dram.execute(c, 0, is_write=False, keep_open=True)
+        log.clear()
+        c2 = dram.coord(32 * 64)  # same bank/row, next column
+        dram.execute(c2, 500, is_write=False, keep_open=False)
+        kinds = [c.kind for c in log.commands]
+        assert kinds == [CommandKind.READ_AP]
+
+    def test_write_command_kind(self):
+        dram, log = logged_system()
+        dram.execute(dram.coord(0), 0, is_write=True, keep_open=True)
+        assert log.count(CommandKind.WRITE) == 1
+
+    def test_conflict_emits_precharge(self):
+        dram, log = logged_system()
+        dram.execute(dram.coord(0), 0, is_write=False, keep_open=True)
+        log.clear()
+        # same bank, different row, while row 0 is open
+        conflict_addr = 4096 * 64
+        dram.execute(dram.coord(conflict_addr), 500, is_write=False, keep_open=False)
+        kinds = [c.kind for c in sorted(log.commands)]
+        assert kinds == [
+            CommandKind.PRECHARGE, CommandKind.ACTIVATE, CommandKind.READ_AP,
+        ]
+
+    def test_act_to_cas_spacing_is_trcd(self):
+        dram, log = logged_system()
+        dram.execute(dram.coord(0), 0, is_write=False, keep_open=False)
+        cmds = sorted(log.commands)
+        assert cmds[1].cycle - cmds[0].cycle == T.t_rcd
+
+
+class TestDiscipline:
+    def test_verify_accepts_legal_stream(self):
+        dram, log = logged_system()
+        for i in range(64):
+            keep = i % 2 == 0
+            dram.execute(dram.coord(i * 64), i * 20, is_write=False, keep_open=keep)
+        # follow-up hits on kept-open rows
+        for i in range(0, 64, 2):
+            dram.execute(
+                dram.coord(i * 64 + 32 * 64 * 1), 2000 + i * 20,
+                is_write=False, keep_open=False,
+            )
+        log.verify_bank_discipline()
+
+    def test_verify_rejects_wrong_row(self):
+        log = CommandLog(T)
+        log.commands.append(DramCommand(0, 0, 0, CommandKind.ACTIVATE, 1))
+        log.commands.append(DramCommand(40, 0, 0, CommandKind.READ, 2))
+        with pytest.raises(AssertionError):
+            log.verify_bank_discipline()
+
+    def test_verify_rejects_act_on_open_bank(self):
+        log = CommandLog(T)
+        log.commands.append(DramCommand(0, 0, 0, CommandKind.ACTIVATE, 1))
+        log.commands.append(DramCommand(40, 0, 0, CommandKind.ACTIVATE, 2))
+        with pytest.raises(AssertionError):
+            log.verify_bank_discipline()
+
+    def test_per_bank_filter(self):
+        dram, log = logged_system()
+        dram.execute(dram.coord(0), 0, is_write=False, keep_open=False)  # b0
+        dram.execute(dram.coord(128), 0, is_write=False, keep_open=False)  # b1
+        assert len(log.per_bank(0, 0)) == 2
+        assert len(log.per_bank(0, 1)) == 2
+        assert len(log.per_bank(1, 0)) == 0
+
+
+class TestEndToEndDiscipline:
+    def test_full_simulation_obeys_bank_discipline(self):
+        """Wire a CommandLog through a real multi-core run and verify."""
+        from repro.config import SystemConfig
+        from repro.core import make_policy
+        from repro.sim.system import MultiCoreSystem
+        from repro.workloads.mixes import workload_by_name
+        from repro.workloads.synthetic import make_trace
+
+        mix = workload_by_name("2MEM-1")
+        cfg = SystemConfig(num_cores=2)
+        traces = [make_trace(a, 5, "eval", i) for i, a in enumerate(mix.apps())]
+        sys_ = MultiCoreSystem(
+            cfg, make_policy("HF-RF"), traces, 3000, warmup_insts=8000, seed=5
+        )
+        log = CommandLog(cfg.dram_timing).attach(sys_.dram)
+        sys_.run()
+        assert len(log.commands) > 100
+        log.verify_bank_discipline()

@@ -1,0 +1,145 @@
+"""Tests for the controller request queues and per-core counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import DramTimingConfig, DramTopologyConfig
+from repro.controller.queues import RequestQueues
+from repro.controller.request import MemoryRequest
+from repro.dram.address import AddressMapper
+
+MAPPER = AddressMapper(DramTopologyConfig(), 64)
+
+
+def make_req(addr=0, core=0, write=False, t=0):
+    r = MemoryRequest(addr=addr, core_id=core, is_write=write, arrival_cycle=t)
+    r.coord = MAPPER.decode(addr)
+    return r
+
+
+class TestCapacity:
+    def test_empty(self):
+        q = RequestQueues(4, 2)
+        assert q.occupancy == 0
+        assert not q.is_full
+        assert q.free_slots == 4
+
+    def test_fills_up(self):
+        q = RequestQueues(2, 1)
+        q.add(make_req(0))
+        q.add(make_req(64))
+        assert q.is_full
+        with pytest.raises(OverflowError):
+            q.add(make_req(128))
+
+    def test_shared_between_reads_and_writes(self):
+        q = RequestQueues(2, 1)
+        q.add(make_req(0, write=False))
+        q.add(make_req(64, write=True))
+        assert q.is_full
+
+
+class TestCounters:
+    def test_pending_reads_per_core(self):
+        q = RequestQueues(8, 2)
+        q.add(make_req(0, core=0))
+        q.add(make_req(64, core=0))
+        q.add(make_req(128, core=1))
+        assert q.pending_reads == [2, 1]
+        assert q.pending_writes == [0, 0]
+
+    def test_remove_decrements(self):
+        q = RequestQueues(8, 2)
+        r = make_req(0, core=1)
+        q.add(r)
+        q.remove(r)
+        assert q.pending_reads == [0, 0]
+        assert q.occupancy == 0
+
+    def test_write_counters(self):
+        q = RequestQueues(8, 2)
+        q.add(make_req(0, core=1, write=True))
+        assert q.pending_writes == [0, 1]
+        assert q.pending_reads == [0, 0]
+
+    def test_cores_with_reads(self):
+        q = RequestQueues(8, 3)
+        q.add(make_req(0, core=2))
+        assert list(q.cores_with_reads()) == [2]
+
+    def test_bad_core_rejected(self):
+        q = RequestQueues(8, 2)
+        with pytest.raises(ValueError):
+            q.add(make_req(0, core=5))
+
+
+class TestSequenceNumbers:
+    def test_monotone_assignment(self):
+        q = RequestQueues(8, 1)
+        rs = [make_req(i * 64) for i in range(4)]
+        for r in rs:
+            q.add(r)
+        assert [r.seq for r in rs] == sorted(r.seq for r in rs)
+        assert len({r.seq for r in rs}) == 4
+
+
+class TestChannelViews:
+    def test_reads_for_channel(self):
+        q = RequestQueues(8, 1)
+        r0 = make_req(0)  # channel 0
+        r1 = make_req(64)  # channel 1
+        q.add(r0)
+        q.add(r1)
+        assert q.reads_for_channel(0) == [r0]
+        assert q.reads_for_channel(1) == [r1]
+
+    def test_any_for_bank(self):
+        q = RequestQueues(8, 1)
+        r = make_req(0)
+        q.add(r)
+        c = r.coord
+        assert q.any_for_bank(c.channel, c.bank, c.row)
+        assert not q.any_for_bank(c.channel, c.bank, c.row + 1)
+        q.remove(r)
+        assert not q.any_for_bank(c.channel, c.bank, c.row)
+
+    def test_any_for_bank_sees_writes(self):
+        q = RequestQueues(8, 1)
+        w = make_req(128, write=True)
+        q.add(w)
+        c = w.coord
+        assert q.any_for_bank(c.channel, c.bank, c.row)
+
+
+class TestPropertyCounters:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # core
+                st.booleans(),  # write
+                st.integers(min_value=0, max_value=1000),  # line index
+            ),
+            max_size=32,
+        )
+    )
+    def test_counters_match_queue_contents(self, ops):
+        q = RequestQueues(64, 4)
+        reqs = []
+        for core, write, line in ops:
+            r = make_req(line * 64, core=core, write=write)
+            q.add(r)
+            reqs.append(r)
+        for core in range(4):
+            assert q.pending_reads[core] == sum(
+                1 for r in q.reads if r.core_id == core
+            )
+            assert q.pending_writes[core] == sum(
+                1 for r in q.writes if r.core_id == core
+            )
+        # removal keeps counters consistent
+        for r in reqs:
+            q.remove(r)
+        assert q.occupancy == 0
+        assert q.pending_reads == [0] * 4
+        assert q.pending_writes == [0] * 4

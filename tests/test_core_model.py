@@ -1,0 +1,162 @@
+"""Tests for the trace-driven core model, wired to the real memory stack.
+
+These build a single-core system with hand-written finite traces so the
+expected timing can be reasoned about exactly.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import make_policy
+from repro.cpu.trace import ListTrace, MemOp
+from repro.sim.system import MultiCoreSystem
+
+CFG = SystemConfig(num_cores=1)
+# single closed-bank read: tRCD + CL + burst + controller overhead
+BASE_READ = 40 + 40 + 16 + 48
+
+
+def run_trace(ops, target, warmup=0, config=CFG):
+    sys_ = MultiCoreSystem(
+        config, make_policy("HF-RF"), [ListTrace(ops)], target, warmup_insts=warmup
+    )
+    sys_.run()
+    return sys_
+
+
+class TestPlainInstructions:
+    def test_ideal_ipc_without_memory(self):
+        sys_ = run_trace([], target=1000)
+        core = sys_.cores[0]
+        # 1000 instructions at 4/cycle = 250 cycles
+        assert core.finish_cycle == 250
+        assert core.ipc() == pytest.approx(4.0)
+
+    def test_ipc_definition_uses_window(self):
+        sys_ = run_trace([], target=1000, warmup=400)
+        core = sys_.cores[0]
+        assert core.warmup_cycle == 100
+        assert core.finish_cycle == 350
+        assert core.ipc() == pytest.approx(4.0)
+
+
+class TestSingleLoad:
+    def test_miss_stalls_commit(self):
+        # one load at instruction 10 that misses everything
+        ops = [MemOp(gap=10, addr=1 << 20, is_write=False)]
+        sys_ = run_trace(ops, target=100)
+        core = sys_.cores[0]
+        # the load is fetched at cycle ~2, returns ~BASE_READ later; the
+        # remaining 89 instructions retire at 4/cycle afterwards
+        expect_min = BASE_READ
+        assert core.finish_cycle >= expect_min
+        assert core.finish_cycle <= expect_min + 2 + 89 // 4 + 4
+        assert core.stats.mem_requests == 1
+        assert core.stats.loads == 1
+
+    def test_l1_hit_is_cheap(self):
+        # second access to the same line, long after the first returned
+        ops = [
+            MemOp(gap=10, addr=1 << 20, is_write=False),
+            MemOp(gap=4000, addr=1 << 20, is_write=False),
+        ]
+        sys_ = run_trace(ops, target=5000)
+        core = sys_.cores[0]
+        assert core.stats.l1_hits == 1
+        assert core.stats.mem_requests == 1
+
+
+class TestMlp:
+    def test_independent_misses_overlap(self):
+        # two lines on different banks, back to back: service overlaps
+        # ((1<<20)+128 is two lines on: same channel, next bank)
+        one = run_trace([MemOp(10, 1 << 20)], target=100).cores[0].finish_cycle
+        two_ops = [MemOp(10, 1 << 20), MemOp(0, (1 << 20) + 128)]
+        two = run_trace(two_ops, target=100).cores[0].finish_cycle
+        # far less than serial (2x one); generous bound: one + 60
+        assert two < one + 60
+
+    def test_mshr_merge_single_request(self):
+        ops = [MemOp(10, 1 << 20), MemOp(0, (1 << 20) + 8)]  # same line
+        sys_ = run_trace(ops, target=100)
+        assert sys_.cores[0].stats.mem_requests == 1
+        assert sys_.hierarchy.mshrs[0].merges == 1
+
+
+class TestStores:
+    def test_store_does_not_stall_commit(self):
+        ld = run_trace([MemOp(10, 1 << 20, False)], target=100).cores[0]
+        st_ = run_trace([MemOp(10, 1 << 20, True)], target=100).cores[0]
+        assert st_.finish_cycle < ld.finish_cycle
+        # the store still fetched its line (write allocate)
+        assert st_.stats.stores == 1
+
+    def test_store_miss_generates_fill_read(self):
+        sys_ = run_trace([MemOp(10, 1 << 20, True)], target=100)
+        # the fill read was issued (it may still be queued when the
+        # commit-driven run ends, since stores never block commit)
+        served = sys_.controller.stats.read_count[0]
+        queued = len(sys_.controller.queues.reads)
+        assert served + queued == 1
+
+
+class TestRobLimit:
+    def test_rob_bounds_overlap(self):
+        # many independent misses with tiny gaps: MLP is bounded by the
+        # ROB window (196 insts / ~1 inst per miss) and MSHRs (32)
+        ops = [MemOp(0, (i + 1) << 20) for i in range(64)]
+        sys_ = run_trace(ops, target=200)
+        core = sys_.cores[0]
+        assert core.stats.mem_requests == 64
+        # with 32 MSHRs the 64 misses need at least two service waves
+        assert core.finish_cycle > BASE_READ + 16 * 8
+
+
+class TestFinishSemantics:
+    def test_finish_hook_called_once(self):
+        calls = []
+        sys_ = MultiCoreSystem(
+            CFG, make_policy("HF-RF"), [ListTrace([])], 100, warmup_insts=0
+        )
+        orig = sys_.cores[0].on_finish
+        sys_.cores[0].on_finish = lambda c: (calls.append(c), orig(c))
+        sys_.run()
+        assert len(calls) == 1
+
+    def test_core_keeps_running_after_finish(self):
+        # infinite-ish trace; core 0 finishes early but still generates
+        # traffic afterwards (paper methodology: reload and keep running)
+        ops = [MemOp(3, (i + 1) << 20) for i in range(200)]
+        sys_ = MultiCoreSystem(
+            CFG, make_policy("HF-RF"), [ListTrace(ops)], 40, warmup_insts=0
+        )
+        reads_at_finish = []
+        core = sys_.cores[0]
+        orig = core.on_finish
+        core.on_finish = lambda c: (
+            reads_at_finish.append(sys_.controller.stats.read_count[0]),
+            orig(c),
+        )
+        sys_.run()
+        assert core.finished
+
+    def test_ipc_zero_before_finish(self):
+        sys_ = MultiCoreSystem(CFG, make_policy("HF-RF"), [ListTrace([])], 100)
+        assert sys_.cores[0].ipc() == 0.0
+
+
+class TestValidation:
+    def test_bad_budget(self):
+        from repro.cpu.core_model import TraceCore
+
+        with pytest.raises(ValueError):
+            TraceCore(0, CFG.core, ListTrace([]), None, None, target_insts=0)
+
+    def test_bad_warmup(self):
+        from repro.cpu.core_model import TraceCore
+
+        with pytest.raises(ValueError):
+            TraceCore(
+                0, CFG.core, ListTrace([]), None, None,
+                target_insts=10, warmup_insts=-1,
+            )

@@ -1,0 +1,80 @@
+"""Tests for the DRAM bank state machine."""
+
+from repro.config import DramTimingConfig
+from repro.dram.bank import Bank
+
+T = DramTimingConfig()  # tRP=tRCD=tCL=40, burst=16, tWR=48
+
+
+def make_bank():
+    return Bank(0, T)
+
+
+class TestInitialState:
+    def test_starts_precharged(self):
+        b = make_bank()
+        assert b.open_row is None
+        assert b.ready_cycle == 0
+        assert not b.is_open(5)
+
+    def test_access_start_is_now_when_idle(self):
+        b = make_bank()
+        assert b.access_start(100) == 100
+
+
+class TestCommit:
+    def test_keep_open_latches_row(self):
+        b = make_bank()
+        b.commit(7, data_end=200, was_hit=False, is_write=False, keep_open=True)
+        assert b.is_open(7)
+        assert b.ready_cycle == 200  # CAS to same row may follow the burst
+
+    def test_auto_precharge_closes_row(self):
+        b = make_bank()
+        b.commit(7, data_end=200, was_hit=False, is_write=False, keep_open=False)
+        assert b.open_row is None
+        assert b.ready_cycle == 200 + T.t_rp
+
+    def test_write_recovery_added(self):
+        b = make_bank()
+        b.commit(7, data_end=200, was_hit=False, is_write=True, keep_open=False)
+        assert b.ready_cycle == 200 + T.t_wr + T.t_rp
+
+    def test_hit_and_activation_counters(self):
+        b = make_bank()
+        b.commit(1, 100, was_hit=False, is_write=False, keep_open=True)
+        b.commit(1, 200, was_hit=True, is_write=False, keep_open=True)
+        assert b.activations == 1
+        assert b.row_hits == 1
+
+
+class TestPrecharge:
+    def test_precharge_open_bank(self):
+        b = make_bank()
+        b.commit(3, data_end=100, was_hit=False, is_write=False, keep_open=True)
+        b.precharge(now=150)
+        assert b.open_row is None
+        assert b.ready_cycle == 150 + T.t_rp
+
+    def test_precharge_waits_for_bank(self):
+        b = make_bank()
+        b.commit(3, data_end=100, was_hit=False, is_write=False, keep_open=True)
+        # bank ready at 100; precharge issued earlier must queue behind it
+        b.precharge(now=50)
+        assert b.ready_cycle == 100 + T.t_rp
+
+    def test_precharge_idempotent_when_closed(self):
+        b = make_bank()
+        b.precharge(now=10)
+        assert b.ready_cycle == 0  # nothing to close
+
+
+class TestReset:
+    def test_reset_restores_initial_state(self):
+        b = make_bank()
+        b.commit(3, 100, was_hit=False, is_write=True, keep_open=True)
+        b.reset()
+        assert b.open_row is None
+        assert b.ready_cycle == 0
+        assert b.activations == 0
+        assert b.row_hits == 0

@@ -1,0 +1,98 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import EventEngine
+
+
+class TestOrdering:
+    def test_time_order(self):
+        e = EventEngine()
+        seen = []
+        e.schedule(30, lambda now: seen.append((now, "c")))
+        e.schedule(10, lambda now: seen.append((now, "a")))
+        e.schedule(20, lambda now: seen.append((now, "b")))
+        e.run()
+        assert seen == [(10, "a"), (20, "b"), (30, "c")]
+
+    def test_same_cycle_fifo(self):
+        e = EventEngine()
+        seen = []
+        for tag in "abc":
+            e.schedule(5, lambda now, t=tag: seen.append(t))
+        e.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_past_events_clamped_to_now(self):
+        e = EventEngine()
+        seen = []
+
+        def first(now):
+            e.schedule(now - 100, lambda t: seen.append(t))
+
+        e.schedule(50, first)
+        e.run()
+        assert seen == [50]
+        assert e.now == 50
+
+    def test_now_never_decreases(self):
+        e = EventEngine()
+        trace = []
+        e.schedule(10, lambda now: trace.append(e.now))
+        e.schedule(10, lambda now: e.schedule(5, lambda t: trace.append(e.now)))
+        e.run()
+        assert trace == sorted(trace)
+
+
+class TestControl:
+    def test_step_returns_false_when_empty(self):
+        assert EventEngine().step() is False
+
+    def test_until_predicate_stops(self):
+        e = EventEngine()
+        count = []
+        for i in range(10):
+            e.schedule(i, lambda now: count.append(now))
+        e.run(until=lambda: len(count) >= 3)
+        assert len(count) == 3
+        assert e.pending == 7
+
+    def test_max_cycles_bound(self):
+        e = EventEngine()
+        hits = []
+        e.schedule(10, lambda now: hits.append(now))
+        e.schedule(1000, lambda now: hits.append(now))
+        e.run(max_cycles=100)
+        assert hits == [10]
+
+    def test_max_events_raises(self):
+        e = EventEngine()
+
+        def respawn(now):
+            e.schedule(now + 1, respawn)
+
+        e.schedule(0, respawn)
+        with pytest.raises(RuntimeError):
+            e.run(max_events=50)
+
+    def test_events_with_args(self):
+        e = EventEngine()
+        seen = []
+        e.schedule(1, lambda now, a, b: seen.append((a, b)), "x", 2)
+        e.run()
+        assert seen == [("x", 2)]
+
+    def test_reset(self):
+        e = EventEngine()
+        e.schedule(5, lambda now: None)
+        e.run()
+        e.reset()
+        assert e.now == 0
+        assert e.pending == 0
+        assert e.events_processed == 0
+
+    def test_peek_cycle(self):
+        e = EventEngine()
+        assert e.peek_cycle() is None
+        e.schedule(7, lambda now: None)
+        assert e.peek_cycle() == 7

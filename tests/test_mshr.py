@@ -1,0 +1,83 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.cache.mshr import MshrFile
+
+
+class TestAllocation:
+    def test_new_entry(self):
+        m = MshrFile(4)
+        assert m.allocate(0x1000) is True
+        assert m.occupancy == 1
+        assert m.outstanding(0x1000)
+
+    def test_merge_same_line(self):
+        m = MshrFile(4)
+        assert m.allocate(0x1000) is True
+        assert m.allocate(0x1000) is False  # merged
+        assert m.occupancy == 1
+        assert m.merges == 1
+
+    def test_capacity_enforced(self):
+        m = MshrFile(2)
+        m.allocate(0)
+        m.allocate(64)
+        assert m.is_full
+        with pytest.raises(OverflowError):
+            m.allocate(128)
+
+    def test_merge_allowed_when_full(self):
+        m = MshrFile(1)
+        m.allocate(0)
+        assert m.allocate(0) is False  # merge needs no new entry
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+
+class TestCompletion:
+    def test_waiters_fired_in_order(self):
+        m = MshrFile(4)
+        fired = []
+        m.allocate(0, lambda line, now: fired.append(("a", line, now)))
+        m.allocate(0, lambda line, now: fired.append(("b", line, now)))
+        n = m.complete(0, now=55)
+        assert n == 2
+        assert fired == [("a", 0, 55), ("b", 0, 55)]
+        assert not m.outstanding(0)
+
+    def test_complete_without_waiters(self):
+        m = MshrFile(4)
+        m.allocate(0)
+        assert m.complete(0, 10) == 0
+
+    def test_complete_unknown_line_raises(self):
+        m = MshrFile(4)
+        with pytest.raises(KeyError):
+            m.complete(0x2000, 0)
+
+    def test_slot_reusable_after_completion(self):
+        m = MshrFile(1)
+        m.allocate(0)
+        m.complete(0, 0)
+        assert m.allocate(64) is True
+
+
+class TestStats:
+    def test_peak_occupancy(self):
+        m = MshrFile(4)
+        m.allocate(0)
+        m.allocate(64)
+        m.complete(0, 0)
+        m.allocate(128)
+        assert m.peak_occupancy == 2
+
+    def test_clear(self):
+        m = MshrFile(4)
+        m.allocate(0, lambda l, n: pytest.fail("must not fire on clear"))
+        m.clear()
+        assert m.occupancy == 0
+        assert m.peak_occupancy == 0
+        assert m.merges == 0

@@ -1,0 +1,95 @@
+"""Tests for the DDR2 energy model."""
+
+import pytest
+
+from repro.config import DramTimingConfig, DramTopologyConfig, SystemConfig
+from repro.core import make_policy
+from repro.dram.dram_system import DramSystem
+from repro.dram.power import DramEnergyModel, EnergyBreakdown
+from repro.sim.system import MultiCoreSystem
+from repro.workloads.mixes import workload_by_name
+from repro.workloads.synthetic import make_trace
+
+
+def fresh_dram():
+    return DramSystem(DramTopologyConfig(), DramTimingConfig(), 64)
+
+
+class TestBreakdown:
+    def test_total(self):
+        b = EnergyBreakdown(1.0, 2.0, 3.0, 4.0, 5.0)
+        assert b.total_nj == 15.0
+
+    def test_avg_power(self):
+        # 3.2e9 cycles = 1 s; 1e9 nJ = 1 J -> 1 W = 1000 mW
+        b = EnergyBreakdown(1e9, 0, 0, 0, 0)
+        assert b.avg_power_mw(int(3.2e9)) == pytest.approx(1000.0)
+        with pytest.raises(ValueError):
+            b.avg_power_mw(0)
+
+    def test_energy_per_bit(self):
+        b = EnergyBreakdown(0, 8.0, 0, 0, 0)  # 8 nJ
+        # one 64-byte line = 512 bits -> 8000 pJ / 512
+        assert b.energy_per_bit_pj(64) == pytest.approx(8000 / 512)
+        assert b.energy_per_bit_pj(0) == 0.0
+
+
+class TestModel:
+    def test_counts_map_to_components(self):
+        dram = fresh_dram()
+        c = dram.coord(0)
+        dram.execute(c, 0, is_write=False, keep_open=True)  # ACT + read
+        dram.execute(c, 500, is_write=False, keep_open=False)  # hit + read
+        model = DramEnergyModel(
+            e_activate_nj=10.0, e_read_nj=1.0, e_write_nj=2.0,
+            p_background_mw_per_channel=0.0,
+        )
+        b = model.measure(dram, cycles=1000, reads=2, writes=0)
+        assert b.activate_nj == 10.0  # one activation, one hit
+        assert b.read_nj == 2.0
+        assert b.write_nj == 0.0
+
+    def test_row_hits_save_energy(self):
+        """The same traffic with row hits must cost less than all-misses."""
+        model = DramEnergyModel(p_background_mw_per_channel=0.0)
+        hitty = fresh_dram()
+        c0 = hitty.coord(0)
+        hitty.execute(c0, 0, is_write=False, keep_open=True)
+        for i in range(1, 8):
+            hitty.execute(hitty.coord(i * 32 * 64), i * 500, is_write=False, keep_open=True)
+        missy = fresh_dram()
+        for i in range(8):
+            missy.execute(missy.coord(i * 4096 * 64), i * 500, is_write=False, keep_open=False)
+        e_hit = model.measure(hitty, 5000, reads=8, writes=0).total_nj
+        e_miss = model.measure(missy, 5000, reads=8, writes=0).total_nj
+        assert e_hit < e_miss
+
+    def test_background_scales_with_time(self):
+        dram = fresh_dram()
+        model = DramEnergyModel()
+        b1 = model.measure(dram, cycles=1000, reads=0, writes=0)
+        b2 = model.measure(dram, cycles=2000, reads=0, writes=0)
+        assert b2.background_nj == pytest.approx(2 * b1.background_nj)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramEnergyModel(e_activate_nj=-1.0)
+        model = DramEnergyModel()
+        with pytest.raises(ValueError):
+            model.measure(fresh_dram(), cycles=-1, reads=0, writes=0)
+
+
+class TestSystemMeasurement:
+    def test_measure_full_run(self):
+        mix = workload_by_name("2MEM-1")
+        cfg = SystemConfig(num_cores=2)
+        traces = [make_trace(a, 7, "eval", i) for i, a in enumerate(mix.apps())]
+        sys_ = MultiCoreSystem(
+            cfg, make_policy("HF-RF"), traces, 3000, warmup_insts=8000, seed=7
+        )
+        sys_.run()
+        b = DramEnergyModel().measure_system(sys_)
+        assert b.total_nj > 0
+        assert b.activate_nj > 0
+        assert b.read_nj > 0
+        assert 0 < b.avg_power_mw(sys_.engine.now) < 10_000

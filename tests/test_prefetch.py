@@ -1,0 +1,120 @@
+"""Tests for the stream-prefetcher extension."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cache.prefetch import PrefetchConfig, StridePrefetcher
+from repro.config import SystemConfig
+from repro.core import make_policy
+from repro.cpu.trace import ListTrace, MemOp
+from repro.sim.system import MultiCoreSystem
+
+
+class TestStrideDetection:
+    def test_needs_two_matching_strides(self):
+        pf = StridePrefetcher(PrefetchConfig(enabled=True, degree=2), 1)
+        assert pf.observe_miss(0, 0 * 64) == []
+        assert pf.observe_miss(0, 1 * 64) == []  # first stride sample
+        out = pf.observe_miss(0, 2 * 64)  # stride confirmed
+        assert out == [3 * 64, 4 * 64]
+
+    def test_stride_any_size(self):
+        pf = StridePrefetcher(PrefetchConfig(enabled=True, degree=1), 1)
+        pf.observe_miss(0, 0)
+        pf.observe_miss(0, 32 * 64)
+        out = pf.observe_miss(0, 64 * 64)
+        assert out == [96 * 64]
+
+    def test_stride_change_retrains(self):
+        pf = StridePrefetcher(PrefetchConfig(enabled=True, degree=1), 1)
+        pf.observe_miss(0, 0)
+        pf.observe_miss(0, 64)
+        assert pf.observe_miss(0, 128) != []  # trained at +1
+        assert pf.observe_miss(0, 1000 * 64) == []  # broken
+        assert pf.observe_miss(0, 1001 * 64) == []  # new stride sample
+        assert pf.observe_miss(0, 1002 * 64) != []  # retrained
+
+    def test_per_core_isolation(self):
+        pf = StridePrefetcher(PrefetchConfig(enabled=True, degree=1), 2)
+        pf.observe_miss(0, 0)
+        pf.observe_miss(0, 64)
+        pf.observe_miss(1, 0)
+        # core 1's history must not borrow core 0's training
+        assert pf.observe_miss(1, 5000 * 64) == []
+
+    def test_outstanding_budget(self):
+        pf = StridePrefetcher(PrefetchConfig(enabled=True, max_outstanding=2), 1)
+        assert pf.can_issue(0)
+        pf.mark_issued(0)
+        pf.mark_issued(0)
+        assert not pf.can_issue(0)
+        pf.mark_completed(0)
+        assert pf.can_issue(0)
+
+    def test_accuracy(self):
+        pf = StridePrefetcher(PrefetchConfig(enabled=True), 1)
+        assert pf.accuracy == 0.0
+        pf.mark_issued(0)
+        pf.mark_issued(0)
+        pf.mark_useful()
+        assert pf.accuracy == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchConfig(degree=0).validate()
+        with pytest.raises(ValueError):
+            PrefetchConfig(max_outstanding=0).validate()
+
+
+def run_stream(prefetch_cfg, n_lines=64, gap=40):
+    """A perfectly sequential miss stream through the full system."""
+    base = 1 << 22
+    ops = [MemOp(gap, base + i * 64) for i in range(n_lines)]
+    cfg = SystemConfig(num_cores=1, prefetch=prefetch_cfg)
+    sys_ = MultiCoreSystem(
+        cfg, make_policy("HF-RF"), [ListTrace(ops)],
+        target_insts=n_lines * (gap + 1) + 10,
+    )
+    sys_.run()
+    return sys_
+
+
+class TestEndToEnd:
+    def test_disabled_by_default(self):
+        sys_ = run_stream(None)
+        assert sys_.hierarchy.prefetcher is None
+        assert sum(sys_.controller.stats.prefetch_count) == 0
+
+    def test_prefetches_issued_and_useful(self):
+        sys_ = run_stream(PrefetchConfig(enabled=True, degree=2))
+        pf = sys_.hierarchy.prefetcher
+        assert pf.issued > 10
+        assert pf.useful > 10
+        assert pf.accuracy > 0.5  # a pure stream is the best case
+        assert sum(sys_.controller.stats.prefetch_count) > 0
+
+    def test_prefetching_speeds_up_streams(self):
+        off = run_stream(None).cores[0].finish_cycle
+        on = run_stream(PrefetchConfig(enabled=True, degree=4)).cores[0].finish_cycle
+        assert on < off  # hiding miss latency must help a pure stream
+
+    def test_demand_stats_not_polluted(self):
+        sys_ = run_stream(PrefetchConfig(enabled=True, degree=2))
+        st = sys_.controller.stats
+        # demand reads + prefetches together cover the stream's lines
+        assert st.read_count[0] + st.prefetch_count[0] >= 60
+        # latency stats only from demand reads
+        assert st.read_latency_sum[0] > 0
+        assert st.avg_read_latency(0) < 5000
+
+    def test_merged_demand_counts_useful(self):
+        # tiny gaps: demand catches up with in-flight prefetches
+        base = 1 << 22
+        ops = [MemOp(2, base + i * 64) for i in range(64)]
+        cfg = SystemConfig(num_cores=1, prefetch=PrefetchConfig(enabled=True, degree=2))
+        sys_ = MultiCoreSystem(
+            cfg, make_policy("HF-RF"), [ListTrace(ops)], target_insts=300
+        )
+        sys_.run()
+        assert sys_.hierarchy.prefetcher.useful > 0

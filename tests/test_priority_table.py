@@ -1,0 +1,114 @@
+"""Tests for the Figure 1 hardware priority table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.priority_table import PriorityTable
+
+
+class TestGeometry:
+    def test_paper_storage_cost(self):
+        # N x 64 x 10 bits = 640N bits (Section 3.2)
+        t = PriorityTable([1.0, 2.0, 3.0, 4.0])
+        assert t.total_bits == 4 * 640
+
+    def test_row_length(self):
+        t = PriorityTable([1.0], max_pending=16)
+        assert len(t.row(0)) == 16
+
+
+class TestLookupSemantics:
+    def test_priority_decreases_with_pending(self):
+        t = PriorityTable([8.0, 1.0])
+        row = t.row(0)
+        assert all(a >= b for a, b in zip(row, row[1:]))
+
+    def test_higher_me_higher_priority_same_pending(self):
+        t = PriorityTable([8.0, 1.0])
+        for p in (1, 2, 7, 64):
+            assert t.lookup(0, p) >= t.lookup(1, p)
+
+    def test_clamps_pending_beyond_table(self):
+        t = PriorityTable([4.0], max_pending=8)
+        assert t.lookup(0, 100) == t.lookup(0, 8)
+
+    def test_zero_pending_rejected(self):
+        t = PriorityTable([4.0])
+        with pytest.raises(ValueError):
+            t.lookup(0, 0)
+
+    def test_exact_reference(self):
+        t = PriorityTable([6.0])
+        assert t.exact(0, 3) == 2.0
+
+    def test_me_ratio_comparison_preserved_log(self):
+        # the comparison the comparator performs: wupwise-like core at
+        # pending=4 should still beat an applu-like core at pending=1
+        # (ME ratio 15x > pending ratio 4x)
+        t = PriorityTable([15.0, 1.0], encoding="log")
+        assert t.lookup(0, 4) > t.lookup(1, 1)
+
+    def test_log_survives_wide_me_range(self):
+        # with an eon-like outlier, linear encoding flattens the MEM apps
+        # to code 0 while log keeps them distinct — the degeneracy that
+        # motivated the log default
+        lin = PriorityTable([16276.0, 2.0, 1.0], encoding="linear")
+        log = PriorityTable([16276.0, 2.0, 1.0], encoding="log")
+        assert lin.lookup(1, 1) == lin.lookup(2, 1) == 0
+        assert log.lookup(1, 1) > log.lookup(2, 1) > 0
+
+
+class TestValidation:
+    def test_empty_me(self):
+        with pytest.raises(ValueError):
+            PriorityTable([])
+
+    def test_negative_me(self):
+        with pytest.raises(ValueError):
+            PriorityTable([-1.0])
+
+    def test_bad_encoding(self):
+        with pytest.raises(ValueError):
+            PriorityTable([1.0], encoding="exp")
+
+    def test_all_zero_me_ok(self):
+        t = PriorityTable([0.0, 0.0])
+        assert t.lookup(0, 1) == 0
+
+
+class TestQuantisationProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1e5, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=1, max_value=64),
+        st.sampled_from(["log", "linear"]),
+    )
+    def test_codes_in_range(self, me_values, pending, encoding):
+        t = PriorityTable(me_values, bits=10, encoding=encoding)
+        for core in range(len(me_values)):
+            assert 0 <= t.lookup(core, pending) < 1024
+
+    @given(
+        st.floats(min_value=0.01, max_value=1e4, allow_nan=False),
+        st.integers(min_value=1, max_value=63),
+    )
+    def test_monotone_in_pending(self, me, pending):
+        t = PriorityTable([me], bits=10)
+        assert t.lookup(0, pending) >= t.lookup(0, pending + 1)
+
+    @given(
+        st.floats(min_value=0.5, max_value=100.0),
+        st.floats(min_value=0.5, max_value=100.0),
+    )
+    def test_quantised_order_never_contradicts_exact(self, me_a, me_b):
+        # quantisation may merge, but must never invert, exact priorities
+        t = PriorityTable([me_a, me_b], bits=10)
+        for p in (1, 5, 33):
+            exact_cmp = t.exact(0, p) - t.exact(1, p)
+            code_cmp = t.lookup(0, p) - t.lookup(1, p)
+            if code_cmp != 0:
+                assert (exact_cmp > 0) == (code_cmp > 0)

@@ -1,0 +1,55 @@
+"""Tests for the policy registry."""
+
+import pytest
+
+from repro.core import available_policies, make_policy
+from repro.core.fixed import FixedPriorityPolicy
+from repro.core.registry import register_policy
+
+
+class TestLookup:
+    def test_paper_names_resolve(self):
+        for name in ("FCFS", "RF", "HF-RF", "RR", "LREQ"):
+            assert make_policy(name).name == name
+
+    def test_case_insensitive(self):
+        assert make_policy("hf-rf").name == "HF-RF"
+
+    def test_me_policies_need_values(self):
+        with pytest.raises(TypeError):
+            make_policy("ME")
+        assert make_policy("ME", me_values=[1.0]).name == "ME"
+        assert make_policy("ME-LREQ", me_values=[1.0]).name == "ME-LREQ"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("WFQ")
+
+    def test_available_lists_fix_placeholder(self):
+        names = available_policies()
+        assert "HF-RF" in names
+        assert "ME-LREQ" in names
+        assert "FIX-<order>" in names
+
+
+class TestFixParsing:
+    def test_fix_orders(self):
+        p = make_policy("FIX-3210")
+        assert isinstance(p, FixedPriorityPolicy)
+        assert p.order == (3, 2, 1, 0)
+        assert p.name == "FIX-3210"
+
+    def test_fix_two_core(self):
+        assert make_policy("FIX-10").order == (1, 0)
+
+    def test_fix_bad_spec(self):
+        with pytest.raises(ValueError):
+            make_policy("FIX-abc")
+
+
+class TestRegistration:
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            @register_policy("HF-RF")
+            class Dup:  # pragma: no cover - never instantiated
+                pass

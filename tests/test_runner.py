@@ -1,0 +1,104 @@
+"""Integration tests for the run helpers (full-stack, small budgets)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import make_policy
+from repro.sim.runner import run_multicore, run_single_core
+from repro.workloads.mixes import workload_by_name
+from repro.workloads.spec2000 import app_by_code
+
+BUDGET = 4000
+WARMUP = 8000  # must cover the trace prologue
+
+
+class TestSingleCore:
+    def test_swim_profile_plausible(self):
+        res = run_single_core(app_by_code("c"), BUDGET, seed=3, warmup_insts=WARMUP)
+        assert 0.1 < res.ipc < 4.0
+        assert res.bw_gbps > 1.0  # memory-intensive
+        assert res.reads > 20
+        assert res.avg_read_latency > 100
+        assert res.memory_efficiency == res.ipc / res.bw_gbps
+
+    def test_ilp_app_low_bandwidth(self):
+        res = run_single_core(app_by_code("t"), BUDGET, seed=3, warmup_insts=WARMUP)
+        assert res.bw_gbps < 0.5
+        assert res.ipc > 2.0
+
+    def test_deterministic(self):
+        a = run_single_core(app_by_code("k"), BUDGET, seed=9, warmup_insts=WARMUP)
+        b = run_single_core(app_by_code("k"), BUDGET, seed=9, warmup_insts=WARMUP)
+        assert a == b
+
+    def test_seed_changes_result(self):
+        a = run_single_core(app_by_code("k"), BUDGET, seed=1, warmup_insts=WARMUP)
+        b = run_single_core(app_by_code("k"), BUDGET, seed=2, warmup_insts=WARMUP)
+        assert a.finish_cycle != b.finish_cycle
+
+    def test_mem_class_beats_ilp_on_me(self):
+        mem = run_single_core(app_by_code("e"), BUDGET, seed=3, warmup_insts=WARMUP)
+        ilp = run_single_core(app_by_code("a"), BUDGET, seed=3, warmup_insts=WARMUP)
+        assert ilp.memory_efficiency > mem.memory_efficiency
+
+
+class TestMultiCore:
+    def test_runs_all_policies(self):
+        mix = workload_by_name("2MEM-1")
+        me = (1.0, 0.2)
+        for pol in ("HF-RF", "RR", "LREQ", "FCFS", "RF", "FIX-01"):
+            r = run_multicore(mix, pol, BUDGET, seed=3, warmup_insts=WARMUP)
+            assert r.num_cores == 2
+            assert all(c.ipc > 0 for c in r.per_core)
+        for pol in ("ME", "ME-LREQ"):
+            r = run_multicore(
+                mix, pol, BUDGET, seed=3, warmup_insts=WARMUP, me_values=me
+            )
+            assert r.policy_name == pol
+
+    def test_me_requires_values(self):
+        mix = workload_by_name("2MEM-1")
+        with pytest.raises(ValueError):
+            run_multicore(mix, "ME", BUDGET, seed=3)
+
+    def test_deterministic(self):
+        mix = workload_by_name("2MIX-1")
+        a = run_multicore(mix, "HF-RF", BUDGET, seed=5, warmup_insts=WARMUP)
+        b = run_multicore(mix, "HF-RF", BUDGET, seed=5, warmup_insts=WARMUP)
+        assert a.ipcs() == b.ipcs()
+        assert a.avg_read_latency() == b.avg_read_latency()
+
+    def test_contention_slows_cores_down(self):
+        # Note: the solo runs use core 0's trace stream while the mix gives
+        # each core its own stream, so per-core IPCs are noisy at this tiny
+        # budget — compare the aggregate, which damps the stream noise.
+        mix = workload_by_name("4MEM-1")
+        multi = run_multicore(mix, "HF-RF", BUDGET, seed=3, warmup_insts=WARMUP)
+        solo_sum = sum(
+            run_single_core(
+                app, BUDGET, seed=3, phase="eval", warmup_insts=WARMUP
+            ).ipc
+            for app in mix.apps()
+        )
+        assert sum(multi.ipcs()) <= solo_sum * 1.10
+
+    def test_policy_object_accepted(self):
+        mix = workload_by_name("2MEM-1")
+        r = run_multicore(
+            mix, make_policy("LREQ"), BUDGET, seed=3, warmup_insts=WARMUP
+        )
+        assert r.policy_name == "LREQ"
+
+    def test_result_aggregates(self):
+        mix = workload_by_name("2MEM-2")
+        r = run_multicore(mix, "HF-RF", BUDGET, seed=3, warmup_insts=WARMUP)
+        assert 0 <= r.row_hit_rate <= 1
+        assert r.end_cycle > 0
+        assert r.avg_read_latency() > 0
+        assert r.per_core[0].app == "mgrid"
+
+    def test_custom_config_core_count_adapted(self):
+        mix = workload_by_name("2MEM-1")
+        cfg = SystemConfig(num_cores=8)  # wrong count: runner re-sizes
+        r = run_multicore(mix, "HF-RF", BUDGET, seed=3, warmup_insts=WARMUP, config=cfg)
+        assert r.num_cores == 2

@@ -1,0 +1,156 @@
+"""Tests for the per-channel split-controller variant."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.controller.split import SplitControllerGroup, _ChannelView
+from repro.core import make_policy
+from repro.dram.dram_system import DramSystem
+from repro.sim.engine import EventEngine
+from repro.sim.system import MultiCoreSystem
+from repro.util.rng import RngStream
+from repro.workloads.mixes import workload_by_name
+from repro.workloads.synthetic import make_trace
+
+CFG = SystemConfig(num_cores=2)
+
+
+def make_group():
+    engine = EventEngine()
+    dram = DramSystem(CFG.dram_topology, CFG.dram_timing, 64)
+    group = SplitControllerGroup(
+        CFG.controller,
+        dram,
+        [make_policy("HF-RF"), make_policy("HF-RF")],
+        2,
+        engine,
+        RngStream(0, "g"),
+    )
+    return engine, dram, group
+
+
+class TestChannelView:
+    def test_rehomes_coords(self):
+        dram = DramSystem(CFG.dram_topology, CFG.dram_timing, 64)
+        view = _ChannelView(dram, 1)
+        coord = view.coord(64)  # line 1 -> physical channel 1
+        assert coord.channel == 0  # re-homed
+        assert len(view.channels) == 1
+        assert view.channels[0] is dram.channels[1]
+
+    def test_execute_hits_real_channel(self):
+        dram = DramSystem(CFG.dram_topology, CFG.dram_timing, 64)
+        view = _ChannelView(dram, 1)
+        view.execute(view.coord(64), 0, is_write=False, keep_open=True)
+        assert dram.channels[1].transactions == 1
+        assert dram.channels[0].transactions == 0
+
+
+class TestGroup:
+    def test_routes_by_channel(self):
+        from repro.controller.request import MemoryRequest
+
+        engine, dram, group = make_group()
+        r0 = MemoryRequest(addr=0, core_id=0, is_write=False, arrival_cycle=0)
+        r1 = MemoryRequest(addr=64, core_id=0, is_write=False, arrival_cycle=0)
+        assert group.enqueue(r0, 0)
+        assert group.enqueue(r1, 0)
+        assert len(group.controllers[0].queues.reads) == 1
+        assert len(group.controllers[1].queues.reads) == 1
+        engine.run()
+        assert dram.channels[0].transactions == 1
+        assert dram.channels[1].transactions == 1
+
+    def test_buffer_split_evenly(self):
+        engine, dram, group = make_group()
+        assert group.controllers[0].config.buffer_entries == 32
+        assert group.controllers[0].config.write_drain_high == 16
+
+    def test_merged_stats(self):
+        from repro.controller.request import MemoryRequest
+
+        engine, dram, group = make_group()
+        for addr in (0, 64, 128, 192):
+            group.enqueue(
+                MemoryRequest(addr=addr, core_id=0, is_write=False, arrival_cycle=0),
+                0,
+            )
+        engine.run()
+        st = group.stats
+        assert st.read_count[0] == 4
+        assert st.bytes_read[0] == 256
+        assert st.avg_read_latency(0) > 0
+
+    def test_wait_for_space_fires_once(self):
+        engine, dram, group = make_group()
+        hits = []
+        group.wait_for_space(lambda now: hits.append(now))
+        from repro.controller.request import MemoryRequest
+
+        group.enqueue(
+            MemoryRequest(addr=0, core_id=0, is_write=False, arrival_cycle=0), 0
+        )
+        group.enqueue(
+            MemoryRequest(addr=64, core_id=0, is_write=False, arrival_cycle=0), 0
+        )
+        engine.run()
+        assert len(hits) == 1
+
+    def test_policy_count_validated(self):
+        engine = EventEngine()
+        dram = DramSystem(CFG.dram_topology, CFG.dram_timing, 64)
+        with pytest.raises(ValueError):
+            SplitControllerGroup(
+                CFG.controller, dram, [make_policy("HF-RF")], 2, engine,
+                RngStream(0, "g"),
+            )
+
+
+class TestEndToEnd:
+    def test_full_run_with_split_controllers(self):
+        mix = workload_by_name("2MEM-1")
+        traces = [make_trace(a, 3, "eval", i) for i, a in enumerate(mix.apps())]
+        sys_ = MultiCoreSystem(
+            CFG,
+            make_policy("LREQ"),
+            traces,
+            3000,
+            warmup_insts=8000,
+            seed=3,
+            controller_kind="split",
+            policy_factory=lambda: make_policy("LREQ"),
+        )
+        sys_.run()
+        assert all(c.finished for c in sys_.cores)
+        assert sum(sys_.controller.stats.read_count) > 0
+
+    def test_split_requires_factory(self):
+        mix = workload_by_name("2MEM-1")
+        traces = [make_trace(a, 3, "eval", i) for i, a in enumerate(mix.apps())]
+        with pytest.raises(ValueError):
+            MultiCoreSystem(
+                CFG, make_policy("LREQ"), traces, 1000, controller_kind="split"
+            )
+
+    def test_unknown_kind_rejected(self):
+        mix = workload_by_name("2MEM-1")
+        traces = [make_trace(a, 3, "eval", i) for i, a in enumerate(mix.apps())]
+        with pytest.raises(ValueError):
+            MultiCoreSystem(
+                CFG, make_policy("LREQ"), traces, 1000, controller_kind="triple"
+            )
+
+
+class TestChannelViewTiming:
+    def test_timing_passthrough(self):
+        dram = DramSystem(CFG.dram_topology, CFG.dram_timing, 64)
+        view = _ChannelView(dram, 0)
+        assert view.timing is dram.timing
+
+    def test_is_row_hit_consults_real_bank(self):
+        dram = DramSystem(CFG.dram_topology, CFG.dram_timing, 64)
+        view = _ChannelView(dram, 1)
+        coord = view.coord(64)
+        assert not view.is_row_hit(coord)
+        view.execute(coord, 0, is_write=False, keep_open=True)
+        assert view.is_row_hit(coord)

@@ -1,0 +1,51 @@
+"""Tests for the parallel sweep runner."""
+
+import pytest
+
+from repro.sim.sweep import SweepCell, grid, run_sweep
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        cells = grid(["2MEM-1", "2MEM-2"], ["HF-RF"], [1, 2])
+        assert len(cells) == 4
+        assert cells[0] == SweepCell("2MEM-1", "HF-RF", 1)
+        assert cells[-1] == SweepCell("2MEM-2", "HF-RF", 2)
+
+
+class TestRunSweep:
+    def test_empty(self):
+        assert run_sweep([]) == []
+
+    def test_inline_single_worker(self):
+        cells = grid(["2MEM-1"], ["HF-RF", "LREQ"], [3])
+        results = run_sweep(cells, inst_budget=2500, workers=1)
+        assert len(results) == 2
+        assert [r.cell for r in results] == cells
+        for r in results:
+            assert r.smt_speedup > 0
+            assert r.unfairness >= 1.0
+            assert len(r.per_core_ipc) == 2
+
+    def test_parallel_matches_inline(self):
+        cells = grid(["2MEM-1", "2MIX-1"], ["HF-RF"], [3])
+        inline = run_sweep(cells, inst_budget=2500, workers=1)
+        parallel = run_sweep(cells, inst_budget=2500, workers=2)
+        # full determinism: parallelism must not change any result
+        assert inline == parallel
+
+    def test_me_policy_profiles_in_worker(self):
+        cells = [SweepCell("2MEM-1", "ME-LREQ", 3)]
+        (res,) = run_sweep(cells, inst_budget=2500, workers=1)
+        assert res.smt_speedup > 0
+
+    def test_order_preserved_under_parallelism(self):
+        cells = grid(["2MEM-1", "2MEM-2", "2MEM-3"], ["HF-RF"], [3])
+        results = run_sweep(cells, inst_budget=2500, workers=3)
+        assert [r.cell.workload for r in results] == [
+            "2MEM-1", "2MEM-2", "2MEM-3",
+        ]
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            run_sweep([SweepCell("9MEM-1", "HF-RF", 1)], workers=1)

@@ -1,0 +1,139 @@
+"""System-level integration tests: invariants that must hold across the
+whole stack for any policy, and the online-ME machinery."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import OnlineMeLreqPolicy, make_policy
+from repro.sim.system import MultiCoreSystem
+from repro.workloads.mixes import workload_by_name
+from repro.workloads.synthetic import make_trace
+
+BUDGET = 3000
+WARMUP = 8000
+
+
+def build(mix_name="2MEM-1", policy=None, seed=3, budget=BUDGET):
+    mix = workload_by_name(mix_name)
+    cfg = SystemConfig(num_cores=mix.num_cores)
+    traces = [
+        make_trace(a, seed, "eval", i) for i, a in enumerate(mix.apps())
+    ]
+    pol = policy or make_policy("HF-RF")
+    return MultiCoreSystem(cfg, pol, traces, budget, warmup_insts=WARMUP, seed=seed)
+
+
+class TestConservation:
+    def test_every_issued_read_completes(self):
+        sys_ = build()
+        sys_.run()
+        st = sys_.controller.stats
+        issued = sum(c.stats.mem_requests for c in sys_.cores)
+        served = sum(st.read_count)
+        in_queue = len(sys_.controller.queues.reads)
+        # every issued demand read was served or is still queued at stop
+        assert served + in_queue >= issued
+
+    def test_bytes_match_transactions(self):
+        sys_ = build()
+        sys_.run()
+        st = sys_.controller.stats
+        total_lines = sum(st.read_count) + sum(st.write_count)
+        total_bytes = sum(st.bytes_read) + sum(st.bytes_written)
+        assert total_bytes == total_lines * 64
+        assert sys_.dram.total_transactions == total_lines
+
+    def test_dram_hits_plus_activations_cover_transactions(self):
+        sys_ = build()
+        sys_.run()
+        d = sys_.dram
+        assert d.total_row_hits + d.total_activations == d.total_transactions
+
+
+class TestSnapshots:
+    def test_warmup_before_finish(self):
+        sys_ = build()
+        sys_.run()
+        for i in range(2):
+            assert sys_.start_snapshots[i].cycle <= sys_.snapshots[i].cycle
+            win = sys_.window(i)
+            assert win.read_count >= 0
+            assert win.bytes_total >= 0
+
+    def test_window_before_finish_raises(self):
+        sys_ = build()
+        with pytest.raises(RuntimeError):
+            sys_.window(0)
+
+    def test_end_cycle_is_max_finish(self):
+        sys_ = build()
+        sys_.run()
+        assert sys_.end_cycle == max(c.finish_cycle for c in sys_.cores)
+
+
+class TestBounds:
+    def test_max_events_guard(self):
+        sys_ = build(budget=100_000)
+        with pytest.raises(RuntimeError):
+            sys_.run(max_events=500)
+
+    def test_trace_count_mismatch(self):
+        cfg = SystemConfig(num_cores=2)
+        with pytest.raises(ValueError):
+            MultiCoreSystem(cfg, make_policy("HF-RF"), [], 100)
+
+
+class TestDeterminismAcrossPolicies:
+    @pytest.mark.parametrize("name", ["HF-RF", "RR", "LREQ", "FCFS"])
+    def test_two_identical_runs_agree(self, name):
+        a = build(policy=make_policy(name))
+        b = build(policy=make_policy(name))
+        a.run()
+        b.run()
+        assert [c.finish_cycle for c in a.cores] == [c.finish_cycle for c in b.cores]
+        assert a.controller.stats.read_latency_sum == b.controller.stats.read_latency_sum
+
+
+class TestOnlineMeLreq:
+    def test_windows_update_estimates(self):
+        pol = OnlineMeLreqPolicy(window=5_000, alpha=0.5)
+        sys_ = build("2MEM-1", policy=pol, budget=8000)
+        initial = pol.me_values
+        sys_.run()
+        assert pol.me_values != initial  # estimates moved
+        assert all(v > 0 for v in pol.me_values)
+
+    def test_observe_window_zero_traffic_keeps_estimate(self):
+        pol = OnlineMeLreqPolicy(num_cores_hint=2, window=1000)
+        pol.setup(2, __import__("repro.util.rng", fromlist=["RngStream"]).RngStream(0))
+        before = pol.me_values
+        pol.observe_window([100, 100], [0, 0], 1000)
+        assert pol.me_values == before
+
+    def test_observe_window_blends(self):
+        pol = OnlineMeLreqPolicy(num_cores_hint=1, window=1000, alpha=1.0)
+        from repro.util.rng import RngStream
+
+        pol.setup(1, RngStream(0))
+        # 3200 insts, 64000 bytes over 3200 cycles at 3.2GHz:
+        # ipc=1.0, bw = 64000/1e-6s... just verify it's ipc/bw
+        pol.observe_window([3200], [64000], 3200)
+        from repro.util.units import gbps
+
+        expect = 1.0 / gbps(64000, 3200)
+        assert pol.me_values[0] == pytest.approx(expect)
+
+    def test_reset_restores_flat(self):
+        pol = OnlineMeLreqPolicy(num_cores_hint=2)
+        from repro.util.rng import RngStream
+
+        pol.setup(2, RngStream(0))
+        pol.observe_window([10, 10], [640, 640], 100)
+        pol.reset()
+        assert pol.me_values == (1.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineMeLreqPolicy(window=0)
+        with pytest.raises(ValueError):
+            OnlineMeLreqPolicy(alpha=0.0)

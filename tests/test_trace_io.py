@@ -1,0 +1,66 @@
+"""Tests for trace recording and the REPROTR1 file format."""
+
+import pytest
+
+from repro.cpu.trace import ListTrace, MemOp
+from repro.cpu.trace_io import TraceRecorder, load_trace, record_trace, save_trace
+from repro.workloads.spec2000 import app_by_code
+from repro.workloads.synthetic import make_trace
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        ops = [MemOp(3, 0x1000), MemOp(0, 0xFFFF_FFFF_0040, True), MemOp(7, 64)]
+        p = tmp_path / "t.trace"
+        save_trace(ops, p)
+        loaded = load_trace(p)
+        assert [loaded.next_op() for _ in range(3)] == ops
+        assert loaded.next_op() is None
+
+    def test_empty_trace(self, tmp_path):
+        p = tmp_path / "empty.trace"
+        save_trace([], p)
+        assert load_trace(p).next_op() is None
+
+    def test_synthetic_roundtrip(self, tmp_path):
+        src = make_trace(app_by_code("c"), seed=3, phase="eval")
+        ops = record_trace(src, 500)
+        p = tmp_path / "swim.trace"
+        save_trace(ops, p)
+        loaded = load_trace(p)
+        assert [loaded.next_op() for _ in range(500)] == ops
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        p = tmp_path / "bad.trace"
+        p.write_bytes(b"NOTATRACE" + b"\x00" * 64)
+        with pytest.raises(ValueError, match="REPROTR1"):
+            load_trace(p)
+
+    def test_truncated(self, tmp_path):
+        p = tmp_path / "short.trace"
+        save_trace([MemOp(1, 64)], p)
+        data = p.read_bytes()
+        p.write_bytes(data[:-8])
+        with pytest.raises(ValueError, match="truncated"):
+            load_trace(p)
+
+    def test_record_negative(self):
+        with pytest.raises(ValueError):
+            record_trace(ListTrace([]), -1)
+
+
+class TestRecorder:
+    def test_passthrough_and_capture(self, tmp_path):
+        ops = [MemOp(1, 64), MemOp(2, 128)]
+        rec = TraceRecorder(ListTrace(ops))
+        seen = [rec.next_op(), rec.next_op(), rec.next_op()]
+        assert seen == ops + [None]
+        assert rec.ops == ops
+        p = tmp_path / "rec.trace"
+        assert rec.save(p) == 2
+        assert len(load_trace(p)) == 2
+
+    def test_record_stops_at_end(self):
+        assert record_trace(ListTrace([MemOp(0, 0)]), 10) == [MemOp(0, 0)]

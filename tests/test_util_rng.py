@@ -1,0 +1,93 @@
+"""Tests for repro.util.rng — determinism and stream independence."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "a", 1) != derive_seed(42, "a", 2)
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_is_63_bit_nonnegative(self):
+        for s in range(20):
+            v = derive_seed(s, "lbl")
+            assert 0 <= v < 2**63
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+    def test_stable_across_calls(self, seed, label):
+        assert derive_seed(seed, label) == derive_seed(seed, label)
+
+
+class TestRngStream:
+    def test_reproducible_sequence(self):
+        a = RngStream(7, "core", 0)
+        b = RngStream(7, "core", 0)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_distinct_labels_distinct_streams(self):
+        a = RngStream(7, "core", 0)
+        b = RngStream(7, "core", 1)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_child_derivation(self):
+        parent = RngStream(7, "sys")
+        c1 = parent.child("ctrl")
+        c2 = RngStream(7, "sys", "ctrl")
+        assert [c1.random() for _ in range(5)] == [c2.random() for _ in range(5)]
+
+    def test_randint_range(self):
+        rng = RngStream(1)
+        vals = [rng.randint(3, 9) for _ in range(200)]
+        assert all(3 <= v < 9 for v in vals)
+        assert set(vals) == set(range(3, 9))  # all values reachable
+
+    def test_geometric_positive(self):
+        rng = RngStream(1)
+        vals = [rng.geometric(0.3) for _ in range(500)]
+        assert all(v >= 1 for v in vals)
+        # mean of geometric(p) is 1/p
+        assert 2.0 < np.mean(vals) < 5.0
+
+    def test_geometric_clamps_bad_p(self):
+        rng = RngStream(1)
+        assert rng.geometric(5.0) == 1  # p clamped to 1
+        assert rng.geometric(0.0) >= 1  # p clamped above 0
+
+    def test_choice(self):
+        rng = RngStream(1)
+        seq = ["x", "y", "z"]
+        assert all(rng.choice(seq) in seq for _ in range(20))
+
+    def test_choice_index_weighted(self):
+        rng = RngStream(1)
+        # all weight on index 2
+        assert all(rng.choice_index([0, 0, 5]) == 2 for _ in range(10))
+
+    def test_choice_index_rejects_zero_weights(self):
+        rng = RngStream(1)
+        with pytest.raises(ValueError):
+            rng.choice_index([0.0, 0.0])
+
+    def test_shuffle_permutes(self):
+        rng = RngStream(1)
+        xs = list(range(30))
+        ys = list(xs)
+        rng.shuffle(ys)
+        assert sorted(ys) == xs
+
+    def test_uniform_floats_shape(self):
+        rng = RngStream(1)
+        arr = rng.uniform_floats(64)
+        assert arr.shape == (64,)
+        assert ((arr >= 0) & (arr < 1)).all()

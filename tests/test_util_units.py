@@ -1,0 +1,55 @@
+"""Tests for cycle/time/bandwidth conversions."""
+
+import pytest
+
+from repro.util.units import (
+    CPU_FREQ_HZ,
+    bytes_per_sec_to_gbps,
+    gbps,
+    ns_to_cycles,
+    seconds,
+)
+
+
+class TestNsToCycles:
+    def test_table1_values(self):
+        # 12.5 ns at 3.2 GHz = exactly 40 cycles (tRP/tRCD/CL)
+        assert ns_to_cycles(12.5) == 40
+        # 15 ns controller overhead = 48 cycles
+        assert ns_to_cycles(15.0) == 48
+
+    def test_rounds_up(self):
+        # 1 ns at 3.2 GHz = 3.2 cycles -> 4 (constraints never shortened)
+        assert ns_to_cycles(1.0) == 4
+
+    def test_zero(self):
+        assert ns_to_cycles(0.0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ns_to_cycles(-1.0)
+
+    def test_custom_frequency(self):
+        assert ns_to_cycles(10.0, freq_hz=1e9) == 10
+
+
+class TestSeconds:
+    def test_one_second_of_cycles(self):
+        assert seconds(int(CPU_FREQ_HZ)) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            seconds(-1)
+
+
+class TestBandwidth:
+    def test_bytes_per_sec_conversion(self):
+        assert bytes_per_sec_to_gbps(12.8e9) == pytest.approx(12.8)
+
+    def test_gbps_basic(self):
+        # 64 bytes every 16 cycles at 3.2 GHz = 12.8 GB/s (one channel's peak)
+        assert gbps(64, 16) == pytest.approx(12.8)
+
+    def test_gbps_empty_interval(self):
+        assert gbps(100, 0) == 0.0
+        assert gbps(0, 100) == 0.0
