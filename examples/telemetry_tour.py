@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Tour of the repro.telemetry subsystem.
+
+Runs one multiprogrammed workload with a telemetry hub attached, then
+walks every way of looking at the captured data:
+
+1. the terminal summary (time-weighted bandwidth, row-hit rate, queue
+   depths, per-core stall fractions);
+2. raw time series extracted with ``Telemetry.series`` — here a simple
+   ASCII sparkline of per-epoch bandwidth and read-queue depth;
+3. discrete events on the bus: write-drain windows and scheduler
+   decisions;
+4. the three exporters — JSONL, CSV and a Chrome trace-event file you
+   can drop into https://ui.perfetto.dev.
+
+Run:  python examples/telemetry_tour.py [--budget N] [--out-dir DIR]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro import MeProfiler, Telemetry, run_multicore, workload_by_name
+from repro.telemetry import (
+    render_summary,
+    write_chrome_trace,
+    write_csv,
+    write_jsonl,
+)
+
+SPARKS = " .:-=+*#%@"
+
+
+def sparkline(values):
+    top = max(values) or 1.0
+    return "".join(
+        SPARKS[min(int(v / top * (len(SPARKS) - 1)), len(SPARKS) - 1)]
+        for v in values
+    )
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--workload", default="4MEM-1")
+    ap.add_argument("--policy", default="ME-LREQ")
+    ap.add_argument("--budget", type=int, default=20_000)
+    ap.add_argument("--sample-every", type=int, default=2000)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--out-dir", default=".", help="where to write exports")
+    args = ap.parse_args()
+
+    mix = workload_by_name(args.workload)
+    me = None
+    if args.policy.startswith("ME"):
+        me = MeProfiler(
+            inst_budget=max(args.budget // 2, 5000), seed=args.seed
+        ).me_values(mix)
+
+    # A Telemetry hub accompanies exactly one run.  capture_decisions
+    # adds a per-scheduling-decision event stream (rich Chrome traces);
+    # leave it off when you only want the periodic series.
+    tm = Telemetry(sample_every=args.sample_every, capture_decisions=True)
+    result = run_multicore(
+        mix, args.policy, inst_budget=args.budget, seed=args.seed,
+        me_values=me, telemetry=tm,
+    )
+
+    print(f"== {mix.name} under {result.policy_name}: summary ==")
+    print(render_summary(tm))
+
+    # -- 2. time series ---------------------------------------------------
+    bw = tm.series(lambda s: sum(c.bw_gbps for c in s.channels))
+    rq = tm.series(lambda s: s.read_queue)
+    print("\n== per-epoch series ==")
+    print(f"  aggregate bandwidth  |{sparkline([v for _, v in bw])}|"
+          f"  peak {max(v for _, v in bw):.2f} GB/s")
+    print(f"  read queue depth     |{sparkline([v for _, v in rq])}|"
+          f"  peak {max(v for _, v in rq):.1f}")
+
+    # -- 3. discrete events -----------------------------------------------
+    spans = tm.bus.spans("write_drain", end_cycle=tm.end_cycle)
+    drained = sum(end - start for start, end, _ in spans)
+    print("\n== bus events ==")
+    print(f"  write-drain windows: {len(spans)} "
+          f"({drained / max(tm.end_cycle, 1):.1%} of the run)")
+    decisions = tm.bus.named("decision")
+    if decisions:
+        hits = sum(1 for d in decisions if d.args["hit"])
+        print(f"  scheduling decisions: {len(decisions)} "
+              f"({hits / len(decisions):.1%} row hits)")
+
+    # -- 4. exporters -----------------------------------------------------
+    out = Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    trace = out / "tour.trace.json"
+    jsonl = out / "tour.telemetry.jsonl"
+    csvf = out / "tour.telemetry.csv"
+    print("\n== exports ==")
+    print(f"  {trace}  ({write_chrome_trace(tm, trace)} events; "
+          "load in Perfetto)")
+    print(f"  {jsonl}  ({write_jsonl(tm, jsonl)} lines)")
+    print(f"  {csvf}  ({write_csv(tm, csvf)} rows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Telemetry overhead gate.
+
+Runs the same workload twice — telemetry off, then on — and enforces the
+subsystem's two promises:
+
+1. results are bit-identical (telemetry is a pure observer);
+2. enabled wall-clock overhead stays under the budget (default 5 %,
+   override with REPRO_OVERHEAD_BUDGET).
+
+Exit status 0 on success, 1 on any violation, so CI can gate on it.
+
+Run:  PYTHONPATH=src python scripts/check_overhead.py [--budget N]
+"""
+
+import argparse
+import os
+import sys
+import time
+
+from repro import Telemetry, run_multicore, workload_by_name
+
+
+def timed_run(mix, policy, budget, seed, telemetry=None):
+    t0 = time.perf_counter()
+    result = run_multicore(
+        mix, policy, inst_budget=budget, seed=seed, telemetry=telemetry
+    )
+    return result, time.perf_counter() - t0
+
+
+def fingerprint(result):
+    return (
+        result.end_cycle,
+        tuple(result.ipcs()),
+        result.row_hit_rate,
+        tuple(c.avg_read_latency for c in result.per_core),
+        tuple(c.bw_gbps for c in result.per_core),
+    )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--workload", default="4MEM-1")
+    ap.add_argument("--policy", default="HF-RF")
+    ap.add_argument("--budget", type=int, default=30_000)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--sample-every", type=int, default=2000)
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="take the best of N timings to damp scheduler noise")
+    ap.add_argument(
+        "--max-overhead", type=float,
+        default=float(os.environ.get("REPRO_OVERHEAD_BUDGET", "0.05")),
+        help="allowed fractional slowdown with telemetry on (default 0.05)",
+    )
+    args = ap.parse_args()
+
+    mix = workload_by_name(args.workload)
+    base_times, tele_times = [], []
+    base_fp = tele_fp = None
+    ticks = 0
+    for _ in range(args.repeats):
+        result, dt = timed_run(mix, args.policy, args.budget, args.seed)
+        base_times.append(dt)
+        base_fp = fingerprint(result)
+
+        tm = Telemetry(sample_every=args.sample_every)
+        result, dt = timed_run(
+            mix, args.policy, args.budget, args.seed, telemetry=tm
+        )
+        tele_times.append(dt)
+        tele_fp = fingerprint(result)
+        ticks = len(tm.samples)
+
+    base, tele = min(base_times), min(tele_times)
+    overhead = tele / base - 1.0
+    print(f"workload {mix.name} / {args.policy} @ {args.budget} insts, "
+          f"best of {args.repeats}:")
+    print(f"  telemetry off : {base * 1e3:8.1f} ms")
+    print(f"  telemetry on  : {tele * 1e3:8.1f} ms  ({ticks} samples)")
+    print(f"  overhead      : {overhead:+8.2%}  (budget {args.max_overhead:.0%})")
+
+    ok = True
+    if tele_fp != base_fp:
+        print("FAIL: results differ with telemetry enabled")
+        print(f"  off: {base_fp}")
+        print(f"  on : {tele_fp}")
+        ok = False
+    else:
+        print("  results bit-identical with telemetry on/off: OK")
+    if overhead > args.max_overhead:
+        print(f"FAIL: overhead {overhead:.2%} exceeds budget "
+              f"{args.max_overhead:.0%}")
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

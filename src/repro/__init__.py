@@ -47,6 +47,7 @@ from repro.sim import (
     run_multicore,
     run_single_core,
 )
+from repro.telemetry import Telemetry
 from repro.workloads import (
     APPS,
     WORKLOAD_MIXES,

@@ -85,6 +85,8 @@ class CacheHierarchy:
         #: per-core demand L2 misses (for workload statistics)
         self.l2_misses = [0] * num_cores
         self.demand_accesses = [0] * num_cores
+        #: dirty lines written back to memory (telemetry / analyses)
+        self.writebacks = 0
         #: optional stream prefetcher (extension; disabled by default)
         self.prefetcher = None
         self._prefetched_lines: set[int] = set()
@@ -270,6 +272,7 @@ class CacheHierarchy:
             self._emit_writeback(owner, v_addr, now)
 
     def _emit_writeback(self, core_id: int, line: int, now: int) -> None:
+        self.writebacks += 1
         req = MemoryRequest(
             addr=line, core_id=core_id, is_write=True, arrival_cycle=now
         )
@@ -305,3 +308,7 @@ class CacheHierarchy:
 
     def l2_miss_count(self, core_id: int) -> int:
         return self.l2_misses[core_id]
+
+    def mshr_occupancies(self) -> list[int]:
+        """Current per-core MSHR occupancy (telemetry sampling point)."""
+        return [m.occupancy for m in self.mshrs]

@@ -21,7 +21,14 @@ Waiter = Callable[[int, int], None]
 class MshrFile:
     """Fixed-capacity miss tracker with same-line merging."""
 
-    __slots__ = ("capacity", "name", "_entries", "peak_occupancy", "merges")
+    __slots__ = (
+        "capacity",
+        "name",
+        "_entries",
+        "peak_occupancy",
+        "merges",
+        "allocations",
+    )
 
     def __init__(self, capacity: int, name: str = "mshr") -> None:
         if capacity < 1:
@@ -32,6 +39,8 @@ class MshrFile:
         self._entries: dict[int, list[Waiter]] = {}
         self.peak_occupancy = 0
         self.merges = 0
+        #: lifetime count of new entries (misses that went to memory)
+        self.allocations = 0
 
     @property
     def occupancy(self) -> int:
@@ -62,6 +71,7 @@ class MshrFile:
         if self.is_full:
             raise OverflowError(f"{self.name} full ({self.capacity} entries)")
         self._entries[line_addr] = [waiter] if waiter is not None else []
+        self.allocations += 1
         if len(self._entries) > self.peak_occupancy:
             self.peak_occupancy = len(self._entries)
         return True
@@ -84,3 +94,4 @@ class MshrFile:
         self._entries.clear()
         self.peak_occupancy = 0
         self.merges = 0
+        self.allocations = 0

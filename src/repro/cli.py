@@ -41,6 +41,13 @@ from repro.workloads.spec2000 import APPS, app_by_name
 __all__ = ["main"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--budget", type=int, default=30_000,
                    help="instructions measured per core")
@@ -60,13 +67,57 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_telemetry(args: argparse.Namespace):
+    """Build a Telemetry hub from CLI flags, or None when not requested."""
+    wants = (
+        args.telemetry
+        or args.trace_out
+        or args.telemetry_out
+        or args.telemetry_csv
+    )
+    if not wants:
+        return None
+    from repro.telemetry import Telemetry
+
+    # The Chrome trace is far richer with the discrete event streams;
+    # JSONL/CSV only need the sampled series.
+    return Telemetry(
+        sample_every=args.sample_every,
+        capture_decisions=bool(args.trace_out),
+        capture_commands=bool(args.trace_out and args.trace_commands),
+    )
+
+
+def _export_telemetry(tm, args: argparse.Namespace) -> None:
+    from repro.telemetry import (
+        render_summary,
+        write_chrome_trace,
+        write_csv,
+        write_jsonl,
+    )
+
+    print()
+    print(render_summary(tm))
+    if args.trace_out:
+        n = write_chrome_trace(tm, args.trace_out)
+        print(f"chrome trace: {args.trace_out} ({n} events; open in Perfetto)")
+    if args.telemetry_out:
+        n = write_jsonl(tm, args.telemetry_out)
+        print(f"telemetry JSONL: {args.telemetry_out} ({n} lines)")
+    if args.telemetry_csv:
+        n = write_csv(tm, args.telemetry_csv)
+        print(f"telemetry CSV: {args.telemetry_csv} ({n} rows)")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     mix = workload_by_name(args.workload)
     prof = MeProfiler(inst_budget=max(args.budget // 2, 5000), seed=args.seed)
     me = prof.me_values(mix)
     single = prof.single_ipcs(mix)
+    tm = _make_telemetry(args)
     result = run_multicore(
-        mix, args.policy, inst_budget=args.budget, seed=args.seed, me_values=me
+        mix, args.policy, inst_budget=args.budget, seed=args.seed, me_values=me,
+        telemetry=tm,
     )
     print(f"workload {mix.name} under {result.policy_name}")
     for c, s in zip(result.per_core, single):
@@ -78,6 +129,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"SMT speedup = {smt_speedup(result.ipcs(), single):.3f}")
     print(f"unfairness  = {unfairness(result.ipcs(), single):.3f}")
     print(f"row-hit rate = {result.row_hit_rate:.1%}")
+    if tm is not None:
+        _export_telemetry(tm, args)
     return 0
 
 
@@ -143,6 +196,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("workload", help="Table 3 mix name, e.g. 4MEM-1")
     p.add_argument("policy", help="policy name, e.g. ME-LREQ")
+    g = p.add_argument_group("telemetry (docs/OBSERVABILITY.md)")
+    g.add_argument("--telemetry", action="store_true",
+                   help="capture the sampled time series and print a summary")
+    g.add_argument("--sample-every", type=_positive_int, default=2000,
+                   metavar="CYCLES",
+                   help="sampler epoch length in cycles (default 2000)")
+    g.add_argument("--trace-out", metavar="PATH",
+                   help="write a Chrome trace-event file (Perfetto-loadable); "
+                        "implies --telemetry and decision capture")
+    g.add_argument("--trace-commands", action="store_true",
+                   help="with --trace-out, also capture per-DRAM-command events")
+    g.add_argument("--telemetry-out", metavar="PATH",
+                   help="write the telemetry stream as JSONL; implies --telemetry")
+    g.add_argument("--telemetry-csv", metavar="PATH",
+                   help="write the sampled series as CSV; implies --telemetry")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")

@@ -33,6 +33,7 @@ from repro.util.rng import RngStream
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import EventEngine
+    from repro.telemetry.hub import Telemetry
 
 __all__ = ["ControllerStats", "MemoryController"]
 
@@ -101,6 +102,7 @@ class MemoryController:
         engine: "EventEngine",
         rng: RngStream,
         line_bytes: int = 64,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         config.validate()
         self.config = config
@@ -113,6 +115,13 @@ class MemoryController:
         self.queues = RequestQueues(config.buffer_entries, num_cores)
         self.stats = ControllerStats(num_cores)
         self.drain_mode = False
+        #: telemetry hub; drain-mode transitions publish spans on its bus
+        #: (None in normal runs — the guard is only evaluated on the rare
+        #: hysteresis transitions, never per request)
+        self.telemetry = telemetry
+        #: bus track drain spans render on (split controllers override so
+        #: per-channel spans don't collide on one track)
+        self.telemetry_track = "controller"
         self.refresh = None
         if config.refresh_enabled:
             from repro.dram.refresh import RefreshScheduler
@@ -141,7 +150,7 @@ class MemoryController:
         req.coord = self.dram.coord(req.addr)
         req.arrival_cycle = now
         self.queues.add(req)
-        self._update_drain_mode()
+        self._update_drain_mode(now)
         self._kick_channel(req.coord.channel, now)
         return True
 
@@ -151,13 +160,21 @@ class MemoryController:
 
     # -- scheduling ------------------------------------------------------------
 
-    def _update_drain_mode(self) -> None:
+    def _update_drain_mode(self, now: int) -> None:
         nw = len(self.queues.writes)
         if not self.drain_mode and nw >= self.config.write_drain_high:
             self.drain_mode = True
             self.stats.drain_entries += 1
+            if self.telemetry is not None:
+                self.telemetry.bus.emit(
+                    "write_drain", "begin", now, self.telemetry_track, writes=nw
+                )
         elif self.drain_mode and nw <= self.config.write_drain_low:
             self.drain_mode = False
+            if self.telemetry is not None:
+                self.telemetry.bus.emit(
+                    "write_drain", "end", now, self.telemetry_track, writes=nw
+                )
 
     def _kick_channel(self, channel: int, now: int) -> None:
         """Ensure a scheduler event is queued for ``channel``."""
@@ -183,7 +200,7 @@ class MemoryController:
         ``next_arrival`` is the earliest such future arrival (to re-arm the
         scheduler) or ``None``.
         """
-        self._update_drain_mode()
+        self._update_drain_mode(now)
         demand: list[MemoryRequest] = []
         prefetch: list[MemoryRequest] = []
         writes: list[MemoryRequest] = []

@@ -12,11 +12,22 @@ Attach before running::
     log = DecisionLog.attach(system.controller)
     system.run()
     print(log.summary(num_cores=4))
+
+When a :class:`~repro.telemetry.hub.Telemetry` hub is supplied, every
+decision is additionally published on the hub's event bus (one
+``"decision"`` instant per burst slot, on the winning channel's track),
+so decisions land in the same exported trace as drain windows and the
+sampled series.  Passing ``telemetry=`` changes where records *also* go,
+never what this class's own API returns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.hub import Telemetry
 
 __all__ = ["Decision", "DecisionLog"]
 
@@ -46,12 +57,25 @@ class DecisionLog:
     # -- attachment -----------------------------------------------------------
 
     @classmethod
-    def attach(cls, controller) -> "DecisionLog":
-        """Wrap ``controller``'s policy so selections are recorded."""
+    def attach(
+        cls,
+        controller,
+        telemetry: "Telemetry | None" = None,
+        track: str | None = None,
+    ) -> "DecisionLog":
+        """Wrap ``controller``'s policy so selections are recorded.
+
+        With ``telemetry`` given, each decision is also emitted on the
+        shared telemetry bus as a ``"decision"`` instant event.  The bus
+        track defaults to ``ch{decision.channel}``; pass ``track`` to
+        override it (split sub-controllers see every coordinate re-homed
+        to channel 0, so they need an explicit per-channel track).
+        """
         log = cls()
         policy = controller.policy
         orig_read = policy.select_read
         orig_write = policy.select_write
+        bus = telemetry.bus if telemetry is not None else None
 
         def wrap(orig, is_write):
             def select(candidates, ctx):
@@ -67,18 +91,29 @@ class DecisionLog:
                     and r.arrival_cycle <= ctx.now
                     for r in queue
                 )
-                log.decisions.append(
-                    Decision(
-                        cycle=ctx.now,
-                        channel=ctx.channel,
-                        core_id=chosen.core_id,
-                        is_write=is_write,
-                        row_hit=ctx.is_row_hit(chosen),
-                        num_candidates=len(candidates),
-                        pending_reads=tuple(ctx.queues.pending_reads),
-                        overtook_older=overtook,
-                    )
+                d = Decision(
+                    cycle=ctx.now,
+                    channel=ctx.channel,
+                    core_id=chosen.core_id,
+                    is_write=is_write,
+                    row_hit=ctx.is_row_hit(chosen),
+                    num_candidates=len(candidates),
+                    pending_reads=tuple(ctx.queues.pending_reads),
+                    overtook_older=overtook,
                 )
+                log.decisions.append(d)
+                if bus is not None:
+                    bus.emit(
+                        "decision",
+                        "instant",
+                        d.cycle,
+                        track if track is not None else f"ch{d.channel}",
+                        core=d.core_id,
+                        write=d.is_write,
+                        hit=d.row_hit,
+                        candidates=d.num_candidates,
+                        overtook=d.overtook_older,
+                    )
                 return chosen
 
             return select

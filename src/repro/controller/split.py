@@ -81,6 +81,7 @@ class SplitControllerGroup:
         engine: "EventEngine",
         rng: RngStream,
         line_bytes: int = 64,
+        telemetry=None,
     ) -> None:
         n = len(dram.channels)
         if len(policies) != n:
@@ -107,9 +108,12 @@ class SplitControllerGroup:
                 engine,
                 rng.child("split", ch),
                 line_bytes=line_bytes,
+                telemetry=telemetry,
             )
             for ch in range(n)
         ]
+        for ch, c in enumerate(self.controllers):
+            c.telemetry_track = f"controller-ch{ch}"
 
     # -- hierarchy-facing interface ------------------------------------------
 

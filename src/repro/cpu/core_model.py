@@ -127,6 +127,10 @@ class TraceCore:
         self.commit_q = 0
         self.fetched = 0
         self.committed = 0
+        #: cumulative commit slots lost waiting on head loads — epoch
+        #: deltas of this / (issue_width * cycles) are the telemetry
+        #: sampler's ROB-stall-fraction series
+        self.stall_q = 0
         #: loads in the instruction window: [inst_no, ready_cycle]
         self._rob: deque[list[int]] = deque()
         #: next memory op waiting to be fetched, and its instruction index
@@ -159,6 +163,11 @@ class TraceCore:
     def finished(self) -> bool:
         """Whether the instruction budget has committed."""
         return self.finish_cycle is not None
+
+    @property
+    def rob_occupancy(self) -> int:
+        """Instructions currently in flight between fetch and commit."""
+        return self.fetched - self.committed
 
     def ipc(self) -> float:
         """Committed IPC over the measurement window (0 while running)."""
@@ -252,6 +261,7 @@ class TraceCore:
             # The load itself retires, no earlier than its data-ready cycle.
             min_q = ready * Q
             if self.commit_q < min_q:
+                self.stall_q += min_q - self.commit_q
                 self.commit_q = min_q
             self.commit_q += 1
             self.committed += 1

@@ -29,11 +29,22 @@ class Bank:
     ready_cycle:
         Earliest cycle a new command (ACT for a closed bank, CAS for the
         open row) may start at this bank.
-    activations / row_hits:
-        Lifetime counters for statistics and ablations.
+    activations / row_hits / conflicts:
+        Lifetime counters for statistics, ablations and telemetry
+        (``conflicts`` counts accesses that found a *different* row open
+        and had to precharge first — only possible under the open-page
+        ablation or while a keep-open decision is pending).
     """
 
-    __slots__ = ("index", "timing", "open_row", "ready_cycle", "activations", "row_hits")
+    __slots__ = (
+        "index",
+        "timing",
+        "open_row",
+        "ready_cycle",
+        "activations",
+        "row_hits",
+        "conflicts",
+    )
 
     def __init__(self, index: int, timing: DramTimingConfig) -> None:
         self.index = index
@@ -42,6 +53,7 @@ class Bank:
         self.ready_cycle: int = 0
         self.activations: int = 0
         self.row_hits: int = 0
+        self.conflicts: int = 0
 
     def is_open(self, row: int) -> bool:
         """True iff ``row`` is latched in the row buffer."""
@@ -95,6 +107,7 @@ class Bank:
         self.ready_cycle = 0
         self.activations = 0
         self.row_hits = 0
+        self.conflicts = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Bank({self.index}, open_row={self.open_row}, ready={self.ready_cycle})"

@@ -50,6 +50,8 @@ class Channel:
         "bus_free_cycle",
         "busy_until",
         "transactions",
+        "writes",
+        "data_cycles",
         "_act_times",
     )
 
@@ -65,6 +67,11 @@ class Channel:
         #: (we pace issue at one transaction per burst slot)
         self.busy_until: int = 0
         self.transactions: int = 0
+        #: write transactions committed (reads = transactions - writes)
+        self.writes: int = 0
+        #: cumulative cycles the data bus spent bursting — epoch deltas of
+        #: this against wall cycles are the bus-utilisation time series
+        self.data_cycles: int = 0
         #: recent ACT issue cycles for tRRD / tFAW enforcement (kept only
         #: when those constraints are enabled)
         self._act_times: deque[int] = deque(maxlen=4)
@@ -84,6 +91,8 @@ class Channel:
         self.bus_free_cycle = 0
         self.busy_until = 0
         self.transactions = 0
+        self.writes = 0
+        self.data_cycles = 0
         self._act_times.clear()
         for b in self.banks:
             b.reset()
@@ -115,6 +124,7 @@ class Channel:
             if bank.open_row is not None:
                 # Open-page conflict: precharge before the activate.
                 start = start + t.t_rp
+                bank.conflicts += 1
             act = start
             # Optional activate-rate constraints (tRRD / tFAW).
             if t.t_rrd and self._act_times:
@@ -133,6 +143,9 @@ class Channel:
         self.busy_until = now + t.t_burst
         bank.commit(row, data_end, was_hit=hit, is_write=is_write, keep_open=keep_open)
         self.transactions += 1
+        if is_write:
+            self.writes += 1
+        self.data_cycles += data_end - data_start
         return TransactionTiming(
             cas_cycle=cas, data_start=data_start, data_end=data_end, row_hit=hit
         )
@@ -146,6 +159,15 @@ class Channel:
     @property
     def total_row_hits(self) -> int:
         return sum(b.row_hits for b in self.banks)
+
+    @property
+    def total_conflicts(self) -> int:
+        """Row-buffer conflicts (precharge forced before activate)."""
+        return sum(b.conflicts for b in self.banks)
+
+    def bus_utilisation(self, now: int) -> float:
+        """Lifetime data-bus busy fraction up to ``now``."""
+        return min(self.data_cycles / now, 1.0) if now > 0 else 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -48,16 +48,24 @@ class CommandLog:
     Attach one to a live simulation with :meth:`attach` (it becomes the
     :class:`~repro.dram.dram_system.DramSystem` observer) or call
     :meth:`record` directly on saved timings.
+
+    With a :class:`~repro.telemetry.hub.Telemetry` hub supplied to
+    :meth:`attach`, every reconstructed command is also published on the
+    hub's event bus (one ``"cmd"`` instant per DDR2 command, on its
+    channel's track) — the same sink the decision log and drain windows
+    use, so a Chrome trace shows the full command stream in context.
     """
 
-    __slots__ = ("timing", "commands")
+    __slots__ = ("timing", "commands", "_bus")
 
     def __init__(self, timing: DramTimingConfig) -> None:
         self.timing = timing
         self.commands: list[DramCommand] = []
+        self._bus = None
 
-    def attach(self, dram) -> "CommandLog":
+    def attach(self, dram, telemetry=None) -> "CommandLog":
         """Register as ``dram``'s transaction observer; returns self."""
+        self._bus = telemetry.bus if telemetry is not None else None
 
         def observer(coord, t, is_write, keep_open, had_conflict):
             self.record(
@@ -84,18 +92,31 @@ class CommandLog:
         if not t.row_hit:
             if had_conflict:
                 pre_cycle = t.cas_cycle - cfg.t_rcd - cfg.t_rp
-                self.commands.append(
+                self._add(
                     DramCommand(pre_cycle, channel, bank, CommandKind.PRECHARGE, row)
                 )
             act_cycle = t.cas_cycle - cfg.t_rcd
-            self.commands.append(
+            self._add(
                 DramCommand(act_cycle, channel, bank, CommandKind.ACTIVATE, row)
             )
         if is_write:
             kind = CommandKind.WRITE if keep_open else CommandKind.WRITE_AP
         else:
             kind = CommandKind.READ if keep_open else CommandKind.READ_AP
-        self.commands.append(DramCommand(t.cas_cycle, channel, bank, kind, row))
+        self._add(DramCommand(t.cas_cycle, channel, bank, kind, row))
+
+    def _add(self, cmd: DramCommand) -> None:
+        self.commands.append(cmd)
+        if self._bus is not None:
+            self._bus.emit(
+                "cmd",
+                "instant",
+                cmd.cycle,
+                f"ch{cmd.channel}",
+                op=cmd.kind.value,
+                bank=cmd.bank,
+                row=cmd.row,
+            )
 
     # -- queries -----------------------------------------------------------
 

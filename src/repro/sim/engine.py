@@ -10,7 +10,9 @@ Events may be scheduled in the past only up to the current cycle (they are
 clamped to ``now``); attempting to go genuinely backwards would mean a
 causality bug, and clamping keeps rounding slack from small analytic
 models from crashing a run while the invariant `engine.now` never
-decreases still holds.
+decreases still holds.  Every clamp is counted in ``clamped_events`` (the
+telemetry sampler exposes it as a time series), and ``strict=True`` turns
+clamping into :class:`PastEventError` for tests hunting causality bugs.
 """
 
 from __future__ import annotations
@@ -18,24 +20,38 @@ from __future__ import annotations
 import heapq
 from typing import Callable
 
-__all__ = ["EventEngine"]
+__all__ = ["EventEngine", "PastEventError"]
+
+
+class PastEventError(RuntimeError):
+    """A strict-mode engine was asked to schedule before ``now``."""
 
 
 class EventEngine:
     """Binary-heap discrete-event scheduler."""
 
-    __slots__ = ("now", "_heap", "_seq", "events_processed")
+    __slots__ = ("now", "strict", "_heap", "_seq", "events_processed", "clamped_events")
 
-    def __init__(self) -> None:
+    def __init__(self, strict: bool = False) -> None:
         self.now: int = 0
+        self.strict = strict
         self._heap: list[tuple[int, int, Callable, tuple]] = []
         self._seq = 0
         self.events_processed = 0
+        #: past-cycle schedules clamped to the present (0 in a clean run)
+        self.clamped_events = 0
 
     def schedule(self, cycle: int, fn: Callable, *args) -> None:
         """Run ``fn(now, *args)`` at ``cycle`` (clamped to the present)."""
-        when = cycle if cycle > self.now else self.now
-        heapq.heappush(self._heap, (when, self._seq, fn, args))
+        if cycle <= self.now:
+            if cycle < self.now:
+                if self.strict:
+                    raise PastEventError(
+                        f"schedule at cycle {cycle} while now={self.now}"
+                    )
+                self.clamped_events += 1
+            cycle = self.now
+        heapq.heappush(self._heap, (cycle, self._seq, fn, args))
         self._seq += 1
 
     @property
@@ -95,3 +111,4 @@ class EventEngine:
         self.now = 0
         self._seq = 0
         self.events_processed = 0
+        self.clamped_events = 0

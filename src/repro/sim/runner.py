@@ -20,6 +20,7 @@ from repro.config import SystemConfig
 from repro.core.policy import SchedulingPolicy
 from repro.core.registry import make_policy
 from repro.sim.system import MultiCoreSystem
+from repro.telemetry.hub import Telemetry
 from repro.util.units import gbps
 from repro.workloads.mixes import Mix
 from repro.workloads.spec2000 import AppProfile
@@ -114,6 +115,7 @@ def run_single_core(
     policy: SchedulingPolicy | str = "HF-RF",
     warmup_insts: int = DEFAULT_WARMUP,
     max_events: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> CoreResult:
     """Run ``app`` alone on a single-core machine.
 
@@ -126,8 +128,18 @@ def run_single_core(
         policy = make_policy(policy)
     trace = make_trace(app, seed, phase, core_id=0)
     system = MultiCoreSystem(
-        cfg, policy, [trace], inst_budget, warmup_insts=warmup_insts, seed=seed
+        cfg,
+        policy,
+        [trace],
+        inst_budget,
+        warmup_insts=warmup_insts,
+        seed=seed,
+        telemetry=telemetry,
     )
+    if telemetry is not None:
+        telemetry.meta.setdefault("run", {}).update(
+            app=app.name, policy=policy.name, seed=seed, budget=inst_budget
+        )
     system.run(max_events=max_events)
     return _core_result(system, 0, app)
 
@@ -143,12 +155,16 @@ def run_multicore(
     warmup_insts: int = DEFAULT_WARMUP,
     lookahead: int = 256,
     max_events: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> RunResult:
     """Run a Table 3 mix under ``policy``.
 
     ``policy`` may be a name (``'ME'``/``'ME-LREQ'`` then require
     ``me_values``, the per-core memory-efficiency profile) or a
     ready-built :class:`SchedulingPolicy`.
+
+    ``telemetry`` attaches a telemetry hub to the run; the same hub
+    object comes back under ``result.extra['telemetry']``.
     """
     cfg = (config or SystemConfig()).with_cores(mix.num_cores)
     if isinstance(policy, str):
@@ -171,11 +187,17 @@ def run_multicore(
         warmup_insts=warmup_insts,
         seed=seed,
         lookahead=lookahead,
+        telemetry=telemetry,
     )
+    if telemetry is not None:
+        telemetry.meta.setdefault("run", {}).update(
+            mix=mix.name, policy=policy.name, seed=seed, budget=inst_budget
+        )
     system.run(max_events=max_events)
     per_core = tuple(
         _core_result(system, i, app) for i, app in enumerate(apps)
     )
+    extra = {} if telemetry is None else {"telemetry": telemetry}
     return RunResult(
         mix_name=mix.name,
         policy_name=policy.name,
@@ -183,4 +205,5 @@ def run_multicore(
         end_cycle=system.end_cycle,
         row_hit_rate=system.dram.row_hit_rate(),
         drain_entries=system.controller.stats.drain_entries,
+        extra=extra,
     )

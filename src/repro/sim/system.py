@@ -30,6 +30,8 @@ from repro.cpu.core_model import TraceCore
 from repro.cpu.trace import TraceSource
 from repro.dram.dram_system import DramSystem
 from repro.sim.engine import EventEngine
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.sampler import Sampler
 from repro.util.rng import RngStream
 
 __all__ = ["CoreSnapshot", "MultiCoreSystem"]
@@ -78,11 +80,17 @@ class MultiCoreSystem:
         lookahead: int = 256,
         controller_kind: str = "shared",
         policy_factory=None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         """``controller_kind='shared'`` is the paper's single controller;
         ``'split'`` builds one controller per logic channel (an
         architectural ablation) and requires ``policy_factory`` — a
-        zero-argument callable producing a fresh policy per channel."""
+        zero-argument callable producing a fresh policy per channel.
+
+        ``telemetry`` attaches a :class:`~repro.telemetry.hub.Telemetry`
+        hub: a periodic sampler rides the event engine and the controller
+        publishes drain windows on the hub's bus.  ``None`` (the default)
+        schedules no extra events and costs nothing."""
         config.validate()
         if len(traces) != config.num_cores:
             raise ValueError(
@@ -106,6 +114,7 @@ class MultiCoreSystem:
                 self.engine,
                 self.rng.child("controller"),
                 line_bytes=config.line_bytes,
+                telemetry=telemetry,
             )
         elif controller_kind == "split":
             from repro.controller.split import SplitControllerGroup
@@ -123,6 +132,7 @@ class MultiCoreSystem:
                 self.engine,
                 self.rng.child("controller"),
                 line_bytes=config.line_bytes,
+                telemetry=telemetry,
             )
         else:
             raise ValueError(f"unknown controller_kind {controller_kind!r}")
@@ -154,6 +164,31 @@ class MultiCoreSystem:
         self._win_committed = [0] * config.num_cores
         self._win_bytes = [0] * config.num_cores
         self._win_start = 0
+        # Telemetry: a read-only sampler riding the event engine, plus the
+        # opt-in high-volume streams (per-decision / per-command events on
+        # the shared bus).
+        self.telemetry = telemetry
+        self.sampler = Sampler(telemetry, self) if telemetry is not None else None
+        self.decision_log = None
+        self.command_log = None
+        if telemetry is not None:
+            if telemetry.capture_decisions:
+                from repro.controller.decision_log import DecisionLog
+
+                subs = getattr(self.controller, "controllers", None)
+                if subs is not None:
+                    self.decision_log = [
+                        DecisionLog.attach(c, telemetry, track=f"ch{ch}")
+                        for ch, c in enumerate(subs)
+                    ]
+                else:
+                    self.decision_log = DecisionLog.attach(self.controller, telemetry)
+            if telemetry.capture_commands:
+                from repro.dram.command import CommandLog
+
+                self.command_log = CommandLog(config.dram_timing).attach(
+                    self.dram, telemetry
+                )
 
     # -- finish bookkeeping -----------------------------------------------------
 
@@ -220,6 +255,8 @@ class MultiCoreSystem:
             core.start()
         if self._online is not None:
             self.engine.schedule(self._online.window, self._window_tick)
+        if self.sampler is not None:
+            self.sampler.start()
         self.engine.run(
             until=lambda: self.all_finished,
             max_cycles=max_cycles,
@@ -227,6 +264,8 @@ class MultiCoreSystem:
         )
         for core in self.cores:
             core.stop()
+        if self.sampler is not None:
+            self.sampler.finalize(self.engine.now)
         if not self.all_finished:
             unfinished = [i for i, s in enumerate(self.snapshots) if s is None]
             raise RuntimeError(

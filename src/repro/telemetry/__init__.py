@@ -1,0 +1,65 @@
+"""repro.telemetry — unified, low-overhead instrumentation & trace export.
+
+One :class:`Telemetry` hub per run collects three complementary views:
+
+* a registry of named counters / gauges / histograms
+  (:mod:`repro.telemetry.registry`) with no-op stubs when disabled;
+* a shared event bus (:mod:`repro.telemetry.bus`) the decision log,
+  command log and write-drain hysteresis all publish through;
+* a periodic time series (:mod:`repro.telemetry.sampler`): per-channel
+  bandwidth, data-bus utilisation, row-hit rate, queue depths, per-core
+  pending reads, MSHR occupancy and ROB stall fraction.
+
+Exporters (:mod:`repro.telemetry.export`) write JSONL, CSV, and Chrome
+trace-event JSON that Perfetto loads; :mod:`repro.telemetry.report`
+renders a terminal summary.  See docs/OBSERVABILITY.md for the tour.
+
+Quick start::
+
+    from repro import Telemetry, run_multicore, workload_by_name
+    from repro.telemetry import render_summary, write_chrome_trace
+
+    tm = Telemetry(sample_every=2000, capture_decisions=True)
+    result = run_multicore(workload_by_name("4MEM-1"), "LREQ",
+                           inst_budget=30_000, telemetry=tm)
+    print(render_summary(tm))
+    write_chrome_trace(tm, "run.trace.json")
+"""
+
+from repro.telemetry.bus import TelemetryBus, TraceEvent
+from repro.telemetry.export import (
+    read_jsonl,
+    write_chrome_trace,
+    write_csv,
+    write_jsonl,
+)
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    NULL_INSTRUMENT,
+    TelemetryRegistry,
+)
+from repro.telemetry.report import render_summary
+from repro.telemetry.sampler import ChannelSample, CoreSample, Sample, Sampler
+
+__all__ = [
+    "Telemetry",
+    "TelemetryBus",
+    "TraceEvent",
+    "TelemetryRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_INSTRUMENT",
+    "Sampler",
+    "Sample",
+    "ChannelSample",
+    "CoreSample",
+    "write_jsonl",
+    "read_jsonl",
+    "write_csv",
+    "write_chrome_trace",
+    "render_summary",
+]

@@ -1,0 +1,265 @@
+"""Trace export: JSONL, CSV, and Chrome trace-event (Perfetto) formats.
+
+Three consumers, three formats:
+
+* :func:`write_jsonl` — one self-describing JSON object per line (header,
+  then samples, then events, then a registry footer); the format scripts
+  and notebooks should parse (:func:`read_jsonl` round-trips it).
+* :func:`write_csv` — the sampled time series flattened to columns for
+  spreadsheet / pandas consumption.
+* :func:`write_chrome_trace` — the Trace Event Format JSON that
+  ``chrome://tracing`` and https://ui.perfetto.dev load directly: sampled
+  series become counter tracks, bus spans become duration slices, bus
+  instants become instant events, each on its own named thread.
+
+Timestamps: the simulator runs in CPU cycles; trace-event ``ts`` is in
+microseconds, so cycles are divided by ``cycles_per_us`` (default: the
+paper's 3.2 GHz clock, 3200 cycles/µs).  Wall-clock in Perfetto therefore
+reads as *simulated* time.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import TYPE_CHECKING, Any
+
+from repro.metrics.serialize import to_jsonable
+from repro.util.units import CPU_FREQ_HZ
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.hub import Telemetry
+
+__all__ = [
+    "FORMAT",
+    "write_jsonl",
+    "read_jsonl",
+    "write_csv",
+    "write_chrome_trace",
+]
+
+#: format marker on the JSONL header line
+FORMAT = "repro-telemetry-v1"
+
+#: default cycle -> microsecond conversion (3.2 GHz core clock)
+DEFAULT_CYCLES_PER_US = CPU_FREQ_HZ / 1e6
+
+
+# -- JSONL ----------------------------------------------------------------------
+
+
+def write_jsonl(telemetry: "Telemetry", path: str | os.PathLike) -> int:
+    """Write the whole hub as line-delimited JSON; returns lines written."""
+    n = 0
+    with open(path, "w") as f:
+        header = {
+            "type": "header",
+            "format": FORMAT,
+            "sample_every": telemetry.sample_every,
+            "meta": to_jsonable(telemetry.meta),
+        }
+        f.write(json.dumps(header) + "\n")
+        n += 1
+        for s in telemetry.samples:
+            rec = {"type": "sample"}
+            rec.update(to_jsonable(s))
+            f.write(json.dumps(rec) + "\n")
+            n += 1
+        for e in telemetry.bus.events:
+            rec = {"type": "event"}
+            rec.update(to_jsonable(e))
+            f.write(json.dumps(rec) + "\n")
+            n += 1
+        f.write(
+            json.dumps({"type": "registry", "instruments": telemetry.registry.snapshot()})
+            + "\n"
+        )
+        n += 1
+    return n
+
+
+def read_jsonl(path: str | os.PathLike) -> dict[str, Any]:
+    """Parse a :func:`write_jsonl` file.
+
+    Returns ``{"header": ..., "samples": [...], "events": [...],
+    "registry": {...}}`` with samples/events as plain dicts.  Raises
+    ``ValueError`` for files this library did not write.
+    """
+    out: dict[str, Any] = {"header": None, "samples": [], "events": [], "registry": {}}
+    with open(path) as f:
+        for lineno, line in enumerate(f):
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            kind = rec.pop("type", None)
+            if lineno == 0:
+                if kind != "header" or rec.get("format") != FORMAT:
+                    raise ValueError(f"{path}: not a {FORMAT} file")
+                out["header"] = rec
+            elif kind == "sample":
+                out["samples"].append(rec)
+            elif kind == "event":
+                out["events"].append(rec)
+            elif kind == "registry":
+                out["registry"] = rec.get("instruments", {})
+            else:
+                raise ValueError(f"{path}:{lineno + 1}: unknown record type {kind!r}")
+    if out["header"] is None:
+        raise ValueError(f"{path}: empty telemetry file")
+    return out
+
+
+# -- CSV ------------------------------------------------------------------------
+
+
+def write_csv(telemetry: "Telemetry", path: str | os.PathLike) -> int:
+    """Flatten the sampled series to CSV; returns data rows written."""
+    samples = telemetry.samples
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        if not samples:
+            w.writerow(["cycle", "span"])
+            return 0
+        nch = len(samples[0].channels)
+        ncore = len(samples[0].cores)
+        header = ["cycle", "span", "read_queue", "write_queue", "drain_mode",
+                  "events", "clamped_events"]
+        for i in range(nch):
+            header += [
+                f"ch{i}_bytes", f"ch{i}_bw_gbps", f"ch{i}_bus_util",
+                f"ch{i}_row_hit_rate", f"ch{i}_reads", f"ch{i}_writes",
+            ]
+        for i in range(ncore):
+            header += [
+                f"core{i}_committed", f"core{i}_ipc", f"core{i}_pending_reads",
+                f"core{i}_mshr", f"core{i}_rob", f"core{i}_stall_frac",
+            ]
+        w.writerow(header)
+        for s in samples:
+            row: list = [s.cycle, s.span, s.read_queue, s.write_queue,
+                         int(s.drain_mode), s.events, s.clamped_events]
+            for c in s.channels:
+                row += [c.bytes, f"{c.bw_gbps:.6g}", f"{c.bus_util:.6g}",
+                        f"{c.row_hit_rate:.6g}", c.reads, c.writes]
+            for c in s.cores:
+                row += [c.committed, f"{c.ipc:.6g}", c.pending_reads,
+                        c.mshr_occupancy, c.rob_occupancy,
+                        f"{c.rob_stall_frac:.6g}"]
+            w.writerow(row)
+    return len(samples)
+
+
+# -- Chrome trace-event format --------------------------------------------------
+
+#: fixed thread ids: controller first, then channels, then cores
+_TID_CONTROLLER = 0
+
+
+def _track_tids(telemetry: "Telemetry") -> dict[str, int]:
+    """Stable track-name -> tid mapping covering samples and bus events."""
+    tids: dict[str, int] = {"controller": _TID_CONTROLLER}
+    if telemetry.samples:
+        first = telemetry.samples[0]
+        for c in first.channels:
+            tids.setdefault(f"ch{c.index}", len(tids))
+        for c in first.cores:
+            tids.setdefault(f"core{c.index}", len(tids))
+    for e in telemetry.bus.events:
+        tids.setdefault(e.track, len(tids))
+    return tids
+
+
+def write_chrome_trace(
+    telemetry: "Telemetry",
+    path: str | os.PathLike,
+    cycles_per_us: float = DEFAULT_CYCLES_PER_US,
+) -> int:
+    """Write a Chrome Trace Event Format file; returns events written.
+
+    Open the result in ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    if cycles_per_us <= 0:
+        raise ValueError("cycles_per_us must be positive")
+    pid = 1
+    tids = _track_tids(telemetry)
+
+    def ts(cycle: int) -> float:
+        return cycle / cycles_per_us
+
+    events: list[dict] = [
+        {"ph": "M", "pid": pid, "name": "process_name",
+         "args": {"name": "repro-sim"}},
+    ]
+    for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+             "args": {"name": track}}
+        )
+
+    for s in telemetry.samples:
+        t = ts(s.cycle)
+        events.append(
+            {"ph": "C", "pid": pid, "tid": _TID_CONTROLLER, "ts": t,
+             "name": "queue depth",
+             "args": {"reads": s.read_queue, "writes": s.write_queue}}
+        )
+        for c in s.channels:
+            tid = tids[f"ch{c.index}"]
+            events.append(
+                {"ph": "C", "pid": pid, "tid": tid, "ts": t,
+                 "name": f"ch{c.index} bandwidth (GB/s)",
+                 "args": {"GB/s": round(c.bw_gbps, 4)}}
+            )
+            events.append(
+                {"ph": "C", "pid": pid, "tid": tid, "ts": t,
+                 "name": f"ch{c.index} bus util",
+                 "args": {"util": round(c.bus_util, 4),
+                          "row_hit": round(c.row_hit_rate, 4)}}
+            )
+        for c in s.cores:
+            tid = tids[f"core{c.index}"]
+            events.append(
+                {"ph": "C", "pid": pid, "tid": tid, "ts": t,
+                 "name": f"core{c.index} IPC",
+                 "args": {"ipc": round(c.ipc, 4)}}
+            )
+            events.append(
+                {"ph": "C", "pid": pid, "tid": tid, "ts": t,
+                 "name": f"core{c.index} memory",
+                 "args": {"pending_reads": c.pending_reads,
+                          "mshr": c.mshr_occupancy,
+                          "stall_frac": round(c.rob_stall_frac, 4)}}
+            )
+
+    ph_map = {"begin": "B", "end": "E", "instant": "i"}
+    for e in telemetry.bus.events:
+        rec = {
+            "ph": ph_map[e.kind],
+            "pid": pid,
+            "tid": tids[e.track],
+            "ts": ts(e.cycle),
+            "name": e.name,
+            "cat": "sim",
+        }
+        if e.kind == "instant":
+            rec["s"] = "t"  # thread-scoped instant
+        if e.args:
+            rec["args"] = to_jsonable(e.args)
+        events.append(rec)
+
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": FORMAT,
+            "sample_every": telemetry.sample_every,
+            "cycles_per_us": cycles_per_us,
+            "meta": to_jsonable(telemetry.meta),
+        },
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f)
+        f.write("\n")
+    return len(events)

@@ -1,0 +1,181 @@
+"""Instrument registry: named counters, gauges and histograms.
+
+The registry is the metric half of the telemetry subsystem (the event/
+span half lives in :mod:`repro.telemetry.bus`).  Components request
+instruments once, at construction time, and update them on their hot
+paths::
+
+    clamped = telemetry.registry.counter("engine.clamped_events")
+    ...
+    clamped.inc()
+
+When telemetry is disabled every lookup returns a shared *null*
+instrument whose update methods are empty ``pass`` bodies — the cheapest
+thing Python can call — so instrumented components never need an
+``if telemetry:`` branch around each update.  Truly hot per-event paths
+should still prefer plain integer attributes that the periodic
+:class:`~repro.telemetry.sampler.Sampler` reads at epoch boundaries;
+instruments are for values that have no natural home on a component.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NullInstrument",
+    "NULL_INSTRUMENT",
+    "TelemetryRegistry",
+]
+
+
+class Counter:
+    """Monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Last-written named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming summary of a sample: count / sum / min / max.
+
+    Full distributions are deliberately not kept — a run can observe
+    millions of values and the summary is what the report renderer and
+    exporters consume.  Callers that need quantiles should export the raw
+    series through the event bus instead.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3g})"
+
+
+class NullInstrument:
+    """No-op stand-in for every instrument kind when telemetry is off."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+    count = 0
+    total = 0.0
+    min = 0.0
+    max = 0.0
+    mean = 0.0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, v: float) -> None:
+        pass
+
+    def observe(self, v: float) -> None:
+        pass
+
+
+#: the shared disabled-mode instrument; identity-comparable in tests
+NULL_INSTRUMENT = NullInstrument()
+
+
+class TelemetryRegistry:
+    """Name -> instrument mapping with disabled-mode null stubs.
+
+    Requesting the same name twice returns the same instrument, so
+    independent components may share a counter by agreeing on its name.
+    A name is bound to one instrument kind for the registry's lifetime.
+    """
+
+    __slots__ = ("enabled", "_instruments")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = cls(name)
+        elif type(inst) is not cls:
+            raise TypeError(
+                f"instrument {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> dict[str, dict]:
+        """All instruments as plain data (for exporters / reports)."""
+        out: dict[str, dict] = {}
+        for name, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Counter):
+                out[name] = {"kind": "counter", "value": inst.value}
+            elif isinstance(inst, Gauge):
+                out[name] = {"kind": "gauge", "value": inst.value}
+            else:
+                out[name] = {
+                    "kind": "histogram",
+                    "count": inst.count,
+                    "sum": inst.total,
+                    "min": inst.min if inst.count else 0.0,
+                    "max": inst.max if inst.count else 0.0,
+                    "mean": inst.mean,
+                }
+        return out
+
+    def __len__(self) -> int:
+        return len(self._instruments)

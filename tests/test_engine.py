@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import EventEngine
+from repro.sim.engine import EventEngine, PastEventError
 
 
 class TestOrdering:
@@ -34,6 +34,51 @@ class TestOrdering:
         e.run()
         assert seen == [50]
         assert e.now == 50
+
+    def test_clamped_events_counted(self):
+        e = EventEngine()
+        e.schedule(50, lambda now: e.schedule(now - 1, lambda t: None))
+        e.schedule(50, lambda now: e.schedule(now - 30, lambda t: None))
+        e.run()
+        assert e.clamped_events == 2
+
+    def test_same_cycle_schedule_is_not_a_clamp(self):
+        e = EventEngine()
+        e.schedule(50, lambda now: e.schedule(now, lambda t: None))
+        e.schedule(10, lambda now: None)
+        e.run()
+        assert e.clamped_events == 0
+
+    def test_strict_mode_raises_on_past_schedule(self):
+        e = EventEngine(strict=True)
+        boom = []
+
+        def first(now):
+            try:
+                e.schedule(now - 1, lambda t: None)
+            except PastEventError as exc:
+                boom.append(exc)
+
+        e.schedule(5, first)
+        e.run()
+        assert len(boom) == 1
+        assert e.clamped_events == 0  # strict mode rejects, never clamps
+
+    def test_strict_mode_allows_present_and_future(self):
+        e = EventEngine(strict=True)
+        seen = []
+        e.schedule(5, lambda now: e.schedule(now, lambda t: seen.append(t)))
+        e.schedule(5, lambda now: e.schedule(now + 3, lambda t: seen.append(t)))
+        e.run()
+        assert seen == [5, 8]
+
+    def test_reset_clears_clamp_counter(self):
+        e = EventEngine()
+        e.schedule(10, lambda now: e.schedule(0, lambda t: None))
+        e.run()
+        assert e.clamped_events == 1
+        e.reset()
+        assert e.clamped_events == 0
 
     def test_now_never_decreases(self):
         e = EventEngine()

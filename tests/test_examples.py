@@ -64,6 +64,18 @@ class TestExamples:
         assert "group averages" in r.stdout
         assert "simulations/s" in r.stdout
 
+    def test_telemetry_tour(self, tmp_path):
+        r = run_example(
+            "telemetry_tour.py", "--budget", "5000", "--policy", "HF-RF",
+            "--out-dir", str(tmp_path),
+        )
+        assert r.returncode == 0, r.stderr
+        assert "write-drain windows" in r.stdout
+        assert "load in Perfetto" in r.stdout
+        assert (tmp_path / "tour.trace.json").exists()
+        assert (tmp_path / "tour.telemetry.jsonl").exists()
+        assert (tmp_path / "tour.telemetry.csv").exists()
+
     def test_policy_anatomy(self):
         r = run_example(
             "policy_anatomy.py", "--workload", "2MEM-1", "--budget", "4000",
