@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Simulator performance baseline: time the paper-figure smoke configs.
+
+Times the Figure 2 / Figure 3 smoke configurations (the same shapes the
+CI smoke job exercises) plus one telemetry-on and one span-tracing run,
+and writes a machine-readable summary so regressions in simulator
+throughput show up run-over-run.  Each entry records wall-clock seconds,
+simulated cycles, memory requests served, and the two derived rates
+(cycles/s and requests/s).
+
+The output is an *artifact*, not a gate — absolute timings depend on the
+host, so CI uploads the JSON instead of asserting on it.  Compare files
+from the same machine class only.
+
+Run:  PYTHONPATH=src python scripts/bench_suite.py [--budget N] [--out PATH]
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro import Telemetry, run_multicore, workload_by_name
+from repro.config import SystemConfig
+from repro.experiments import ExperimentContext, run_figure2, run_figure3
+from repro.metrics.memory_efficiency import MeProfiler
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - t0
+
+
+def _run_entry(name, mix_name, policy, budget, seed, telemetry=None,
+               me_values=None):
+    """Time one multicore run; report throughput from its DRAM traffic."""
+    mix = workload_by_name(mix_name)
+    result, dt = _timed(
+        run_multicore, mix, policy, inst_budget=budget, seed=seed,
+        me_values=me_values, telemetry=telemetry,
+    )
+    requests = sum(c.reads for c in result.per_core)
+    return {
+        "name": name,
+        "kind": "run",
+        "workload": mix_name,
+        "policy": policy,
+        "budget": budget,
+        "seconds": round(dt, 4),
+        "simulated_cycles": result.end_cycle,
+        "requests": requests,
+        "cycles_per_sec": round(result.end_cycle / dt) if dt else None,
+        "requests_per_sec": round(requests / dt) if dt else None,
+    }
+
+
+def _figure_entry(name, fn, ctx, **kwargs):
+    rows, dt = _timed(fn, ctx, **kwargs)
+    return {
+        "name": name,
+        "kind": "figure",
+        "budget": ctx.inst_budget,
+        "seconds": round(dt, 4),
+        "cells": sum(len(r.outcomes) for r in rows),
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--budget", type=int, default=6000,
+                    help="instructions per core for the smoke configs")
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--out", default="BENCH_PR3.json")
+    args = ap.parse_args()
+
+    mix = workload_by_name("4MEM-1")
+    me = MeProfiler(
+        inst_budget=max(args.budget // 2, 3000), seed=args.seed
+    ).me_values(mix)
+
+    entries = [
+        _run_entry("run-hf-rf", "4MEM-1", "HF-RF", args.budget, args.seed),
+        _run_entry("run-me-lreq", "4MEM-1", "ME-LREQ", args.budget,
+                   args.seed, me_values=me),
+        _run_entry("run-telemetry", "4MEM-1", "HF-RF", args.budget,
+                   args.seed, telemetry=Telemetry(sample_every=2000)),
+        _run_entry("run-spans", "4MEM-1", "HF-RF", args.budget, args.seed,
+                   telemetry=Telemetry(capture_spans=True, span_sample=64)),
+    ]
+    # The figure harnesses profile + sweep policies; one smoke panel each
+    # keeps the suite under a minute while covering the hot sweep paths.
+    ctx = ExperimentContext(
+        inst_budget=args.budget,
+        seeds=(args.seed,),
+        profile_budget=max(args.budget // 2, 3000),
+        config=SystemConfig(),
+    )
+    entries.append(_figure_entry(
+        "figure2-smoke", run_figure2, ctx, core_counts=(2,), groups=("MEM",)
+    ))
+    entries.append(_figure_entry(
+        "figure3-smoke", run_figure3, ctx, groups=("MEM",)
+    ))
+
+    doc = {
+        "suite": "bench_suite",
+        "budget": args.budget,
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "entries": entries,
+    }
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+    width = max(len(e["name"]) for e in entries)
+    for e in entries:
+        rate = (f"  {e['requests_per_sec']:>8} req/s"
+                if e.get("requests_per_sec") else "")
+        print(f"{e['name']:<{width}}  {e['seconds']:>8.3f} s{rate}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

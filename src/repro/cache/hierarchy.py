@@ -82,6 +82,9 @@ class CacheHierarchy:
         #: registration — re-arming per retry would accumulate stale
         #: callbacks and make every buffer-slot release O(retries))
         self._space_watch_armed = False
+        #: request-lifecycle span collector (wired by MultiCoreSystem
+        #: when the telemetry hub captures spans; None otherwise)
+        self.spans = None
         #: per-core demand L2 misses (for workload statistics)
         self.l2_misses = [0] * num_cores
         self.demand_accesses = [0] * num_cores
@@ -132,7 +135,7 @@ class CacheHierarchy:
         # L2 demand miss (counted by the lookup above).
         mshr = self.mshrs[core_id]
         if mshr.outstanding(line):
-            mshr.allocate(line, waiter)  # merge
+            mshr.allocate(line, waiter, now)  # merge
             if line in self._prefetch_inflight:
                 # demand caught up with an in-flight prefetch
                 self.prefetcher.mark_useful()
@@ -144,7 +147,7 @@ class CacheHierarchy:
             return BLOCKED
         if not self.controller.can_accept():
             return BLOCKED
-        mshr.allocate(line, waiter)
+        mshr.allocate(line, waiter, now)
         self._l2_outstanding += 1
         self.l2_misses[core_id] += 1
         if is_write:
@@ -156,6 +159,8 @@ class CacheHierarchy:
             arrival_cycle=now,
             on_complete=self._on_fill,
         )
+        if self.spans is not None:
+            req.span = self.spans.start_request(core_id, line, "read", now)
         accepted = self.controller.enqueue(req, now)
         assert accepted, "can_accept() checked above"
         if self.prefetcher is not None:
@@ -181,7 +186,7 @@ class CacheHierarchy:
                 or not self.controller.can_accept()
             ):
                 continue
-            mshr.allocate(line)
+            mshr.allocate(line, now=now)
             self._l2_outstanding += 1
             self._prefetch_inflight.add(line)
             req = MemoryRequest(
@@ -192,6 +197,8 @@ class CacheHierarchy:
                 on_complete=self._on_prefetch_fill,
                 is_prefetch=True,
             )
+            if self.spans is not None:
+                req.span = self.spans.start_request(core_id, line, "prefetch", now)
             accepted = self.controller.enqueue(req, now)
             assert accepted, "can_accept() checked above"
             pf.mark_issued(core_id)
@@ -215,6 +222,8 @@ class CacheHierarchy:
         self._l2_outstanding -= 1
         self.prefetcher.mark_completed(core)
         self.mshrs[core].complete(line, now)
+        if self.spans is not None:
+            self.spans.end_inflight(core, line)
         self._on_resource_freed(now)
 
     def wait_unblock(self, callback: Callable[[int], None]) -> None:
@@ -245,6 +254,8 @@ class CacheHierarchy:
         self._fill_l1(core, line, dirty=dirty, now=now)
         self._l2_outstanding -= 1
         self.mshrs[core].complete(line, now)
+        if self.spans is not None:
+            self.spans.end_inflight(core, line)
         self._on_resource_freed(now)
 
     def _fill_l1(self, core_id: int, line: int, *, dirty: bool, now: int) -> None:
@@ -276,6 +287,8 @@ class CacheHierarchy:
         req = MemoryRequest(
             addr=line, core_id=core_id, is_write=True, arrival_cycle=now
         )
+        if self.spans is not None:
+            req.span = self.spans.start_request(core_id, line, "write", now)
         if not self.controller.enqueue(req, now):
             self._wb_overflow.append(req)
             self._arm_wb_flush()

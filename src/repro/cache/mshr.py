@@ -28,6 +28,7 @@ class MshrFile:
         "peak_occupancy",
         "merges",
         "allocations",
+        "on_merge",
     )
 
     def __init__(self, capacity: int, name: str = "mshr") -> None:
@@ -41,6 +42,10 @@ class MshrFile:
         self.merges = 0
         #: lifetime count of new entries (misses that went to memory)
         self.allocations = 0
+        #: optional observer ``fn(line_addr, now)`` fired when a miss
+        #: merges onto an in-flight entry (span tracing hook; None costs
+        #: one attribute test on the merge path only)
+        self.on_merge: Callable[[int, int], None] | None = None
 
     @property
     def occupancy(self) -> int:
@@ -54,8 +59,10 @@ class MshrFile:
         """Whether a miss for ``line_addr`` is already in flight."""
         return line_addr in self._entries
 
-    def allocate(self, line_addr: int, waiter: Waiter | None = None) -> bool:
-        """Track a new miss for ``line_addr``.
+    def allocate(
+        self, line_addr: int, waiter: Waiter | None = None, now: int = 0
+    ) -> bool:
+        """Track a new miss for ``line_addr`` observed at cycle ``now``.
 
         Returns ``True`` if a *new* entry was allocated (a request must be
         sent), ``False`` if the miss merged onto an existing entry.  Raises
@@ -67,6 +74,8 @@ class MshrFile:
             if waiter is not None:
                 waiters.append(waiter)
             self.merges += 1
+            if self.on_merge is not None:
+                self.on_merge(line_addr, now)
             return False
         if self.is_full:
             raise OverflowError(f"{self.name} full ({self.capacity} entries)")

@@ -69,11 +69,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _make_telemetry(args: argparse.Namespace):
     """Build a Telemetry hub from CLI flags, or None when not requested."""
+    spans = bool(args.spans or args.spans_out)
     wants = (
         args.telemetry
         or args.trace_out
         or args.telemetry_out
         or args.telemetry_csv
+        or spans
     )
     if not wants:
         return None
@@ -85,19 +87,31 @@ def _make_telemetry(args: argparse.Namespace):
         sample_every=args.sample_every,
         capture_decisions=bool(args.trace_out),
         capture_commands=bool(args.trace_out and args.trace_commands),
+        capture_spans=spans,
+        span_sample=args.span_sample,
     )
 
 
 def _export_telemetry(tm, args: argparse.Namespace) -> None:
     from repro.telemetry import (
+        attribute,
+        format_attribution,
         render_summary,
         write_chrome_trace,
         write_csv,
         write_jsonl,
+        write_spans_jsonl,
     )
 
     print()
     print(render_summary(tm))
+    if tm.spans is not None:
+        print()
+        if tm.spans.completed:
+            print(format_attribution(attribute(tm, kind="read")))
+        else:
+            print("no request spans traced (run too short for the "
+                  f"1-in-{tm.spans.sample_every} sample; try --span-sample 1)")
     if args.trace_out:
         n = write_chrome_trace(tm, args.trace_out)
         print(f"chrome trace: {args.trace_out} ({n} events; open in Perfetto)")
@@ -107,6 +121,9 @@ def _export_telemetry(tm, args: argparse.Namespace) -> None:
     if args.telemetry_csv:
         n = write_csv(tm, args.telemetry_csv)
         print(f"telemetry CSV: {args.telemetry_csv} ({n} rows)")
+    if args.spans_out:
+        n = write_spans_jsonl(tm, args.spans_out)
+        print(f"span JSONL: {args.spans_out} ({n} lines)")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -211,6 +228,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the telemetry stream as JSONL; implies --telemetry")
     g.add_argument("--telemetry-csv", metavar="PATH",
                    help="write the sampled series as CSV; implies --telemetry")
+    g.add_argument("--spans", action="store_true",
+                   help="trace sampled request lifecycles and print the "
+                        "per-core latency-attribution table")
+    g.add_argument("--span-sample", type=_positive_int, default=64, metavar="N",
+                   help="trace every Nth request (default 64; 1 = all)")
+    g.add_argument("--spans-out", metavar="PATH",
+                   help="write traced spans + attribution as JSONL; "
+                        "implies --spans")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")

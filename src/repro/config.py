@@ -252,6 +252,20 @@ class SystemConfig:
     def line_bytes(self) -> int:
         return self.caches.l2.line_bytes
 
+    def digest(self) -> str:
+        """Short stable hash of every configuration field.
+
+        Two runs with equal digests simulated the same machine; telemetry
+        exporters stamp it into their artifact headers so results are
+        self-describing.
+        """
+        import hashlib
+        import json
+        from dataclasses import asdict
+
+        canonical = json.dumps(asdict(self), sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
     def validate(self) -> "SystemConfig":
         """Check cross-component consistency; returns self for chaining."""
         if self.num_cores < 1:

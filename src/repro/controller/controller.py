@@ -122,6 +122,9 @@ class MemoryController:
         #: bus track drain spans render on (split controllers override so
         #: per-channel spans don't collide on one track)
         self.telemetry_track = "controller"
+        #: request-lifecycle span collector (None unless the hub captures
+        #: spans; the per-commit guard is one attribute test)
+        self.spans = telemetry.spans if telemetry is not None else None
         self.refresh = None
         if config.refresh_enabled:
             from repro.dram.refresh import RefreshScheduler
@@ -330,6 +333,23 @@ class MemoryController:
                 st.read_row_hits += 1
             if req.on_complete is not None:
                 self.engine.schedule(req.done_cycle, self._deliver, req)
+        span = req.span
+        if span is not None:
+            # Observation only: copy the resolved stamps onto the span.
+            span.arrival = req.arrival_cycle
+            span.pick = now
+            span.track = self.telemetry_track
+            span.channel = self.dram.channels[channel].index
+            span.bank = coord.bank
+            span.row = coord.row
+            span.bank_start = timing.start_cycle
+            span.cas = timing.cas_cycle
+            span.data_start = timing.data_start
+            span.data_end = timing.data_end
+            span.done = req.done_cycle
+            span.row_hit = timing.row_hit
+            span.conflict = timing.conflict
+            self.spans.finish(span)
         self._notify_space(now)
 
     def _keep_open_after(self, coord) -> bool:

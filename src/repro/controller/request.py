@@ -55,6 +55,7 @@ class MemoryRequest:
         "issue_cycle",
         "done_cycle",
         "row_hit",
+        "span",
     )
 
     def __init__(
@@ -78,6 +79,9 @@ class MemoryRequest:
         self.issue_cycle: int = -1
         self.done_cycle: int = -1
         self.row_hit: bool = False
+        #: lifecycle span when this request was sampled for tracing
+        #: (:mod:`repro.telemetry.spans`), else None
+        self.span = None
 
     @property
     def latency(self) -> int:

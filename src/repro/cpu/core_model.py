@@ -147,6 +147,9 @@ class TraceCore:
         #: optional hooks fired once at each crossing: fn(core)
         self.on_warmup = None
         self.on_finish = None
+        #: span collector for structural-stall stamps (wired by
+        #: MultiCoreSystem when the telemetry hub captures spans)
+        self.spans = None
         self._pull_next_op()
 
     # -- public control --------------------------------------------------------
@@ -351,6 +354,12 @@ class TraceCore:
         )
         if result == BLOCKED:
             self.stats.structural_stalls += 1
+            if self.spans is not None:
+                # Stamp the first attempt so the eventual request's span
+                # can attribute the structural-stall wait.
+                self.spans.note_blocked(
+                    self.core_id, cycle, self.hierarchy.line_of(op.addr)
+                )
             self._blocked = True
             self.hierarchy.wait_unblock(self._on_unblock)
             return False

@@ -38,6 +38,12 @@ class TransactionTiming:
     data_end: int
     #: whether the access hit the open row
     row_hit: bool
+    #: cycle the bank could first start work (before any conflict
+    #: precharge) — ``cas_cycle - start_cycle`` is the row-preparation
+    #: cost the span-attribution layer charges to this transaction
+    start_cycle: int = 0
+    #: whether a different row was open and had to be precharged first
+    conflict: bool = False
 
 
 class Channel:
@@ -117,7 +123,9 @@ class Channel:
         t = self.timing
         bank = self.banks[bank_idx]
         start = bank.access_start(now)
+        ready = start
         hit = bank.is_open(row)
+        conflict = False
         if hit:
             cas = start
         else:
@@ -125,6 +133,7 @@ class Channel:
                 # Open-page conflict: precharge before the activate.
                 start = start + t.t_rp
                 bank.conflicts += 1
+                conflict = True
             act = start
             # Optional activate-rate constraints (tRRD / tFAW).
             if t.t_rrd and self._act_times:
@@ -147,7 +156,12 @@ class Channel:
             self.writes += 1
         self.data_cycles += data_end - data_start
         return TransactionTiming(
-            cas_cycle=cas, data_start=data_start, data_end=data_end, row_hit=hit
+            cas_cycle=cas,
+            data_start=data_start,
+            data_end=data_end,
+            row_hit=hit,
+            start_cycle=ready,
+            conflict=conflict,
         )
 
     # -- statistics ----------------------------------------------------------

@@ -62,17 +62,12 @@ class DramSystem:
         """Execute one line transaction at ``coord`` starting no earlier
         than ``now``; returns the resolved timing."""
         channel = self.channels[coord.channel]
-        if self.observer is not None:
-            bank = channel.banks[coord.bank]
-            conflict = bank.open_row is not None and bank.open_row != coord.row
-            t = channel.execute(
-                coord.bank, coord.row, now, is_write=is_write, keep_open=keep_open
-            )
-            self.observer(coord, t, is_write, keep_open, conflict)
-            return t
-        return channel.execute(
+        t = channel.execute(
             coord.bank, coord.row, now, is_write=is_write, keep_open=keep_open
         )
+        if self.observer is not None:
+            self.observer(coord, t, is_write, keep_open, t.conflict)
+        return t
 
     def reset(self) -> None:
         """Reset every channel and bank."""

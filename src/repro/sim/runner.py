@@ -138,7 +138,8 @@ def run_single_core(
     )
     if telemetry is not None:
         telemetry.meta.setdefault("run", {}).update(
-            app=app.name, policy=policy.name, seed=seed, budget=inst_budget
+            app=app.name, policy=policy.name, seed=seed, budget=inst_budget,
+            config_hash=cfg.digest(),
         )
     system.run(max_events=max_events)
     return _core_result(system, 0, app)
@@ -191,7 +192,8 @@ def run_multicore(
     )
     if telemetry is not None:
         telemetry.meta.setdefault("run", {}).update(
-            mix=mix.name, policy=policy.name, seed=seed, budget=inst_budget
+            mix=mix.name, policy=policy.name, seed=seed, budget=inst_budget,
+            config_hash=cfg.digest(),
         )
     system.run(max_events=max_events)
     per_core = tuple(

@@ -19,6 +19,7 @@ Methodology notes (paper Section 4.1):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Sequence
 
 from repro.cache.hierarchy import CacheHierarchy
@@ -171,6 +172,18 @@ class MultiCoreSystem:
         self.sampler = Sampler(telemetry, self) if telemetry is not None else None
         self.decision_log = None
         self.command_log = None
+        if telemetry is not None and telemetry.spans is not None:
+            # Request-lifecycle tracing: hand the collector to every
+            # producer that stamps a stage transition.  The controller(s)
+            # picked it up from the hub already.
+            spans = telemetry.spans
+            spans.timing = config.dram_timing
+            spans.overhead = config.controller.overhead
+            self.hierarchy.spans = spans
+            for core in self.cores:
+                core.spans = spans
+            for i, mshr in enumerate(self.hierarchy.mshrs):
+                mshr.on_merge = partial(spans.note_merge, i)
         if telemetry is not None:
             if telemetry.capture_decisions:
                 from repro.controller.decision_log import DecisionLog
@@ -265,7 +278,14 @@ class MultiCoreSystem:
         for core in self.cores:
             core.stop()
         if self.sampler is not None:
-            self.sampler.finalize(self.engine.now)
+            # Flush the trailing partial epoch to the true end of run:
+            # commit crossings are interpolated analytically and can land
+            # past the last engine event, so engine.now alone would leave
+            # the final cycles unsampled.
+            end = self.engine.now
+            if self.all_finished:
+                end = max(end, self.end_cycle)
+            self.sampler.finalize(end)
         if not self.all_finished:
             unfinished = [i for i, s in enumerate(self.snapshots) if s is None]
             raise RuntimeError(

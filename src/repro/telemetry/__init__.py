@@ -12,7 +12,11 @@ One :class:`Telemetry` hub per run collects three complementary views:
 
 Exporters (:mod:`repro.telemetry.export`) write JSONL, CSV, and Chrome
 trace-event JSON that Perfetto loads; :mod:`repro.telemetry.report`
-renders a terminal summary.  See docs/OBSERVABILITY.md for the tour.
+renders a terminal summary.  Opt-in request-lifecycle tracing
+(:mod:`repro.telemetry.spans`, ``Telemetry(capture_spans=True)``) stamps
+sampled requests at every stage and :mod:`repro.telemetry.attribution`
+decomposes them into additive latency components.  See
+docs/OBSERVABILITY.md for the tour.
 
 Quick start::
 
@@ -26,12 +30,21 @@ Quick start::
     write_chrome_trace(tm, "run.trace.json")
 """
 
+from repro.telemetry.attribution import (
+    AttributionReport,
+    CoreBreakdown,
+    attribute,
+    decompose,
+    format_attribution,
+)
 from repro.telemetry.bus import TelemetryBus, TraceEvent
 from repro.telemetry.export import (
     read_jsonl,
+    run_metadata,
     write_chrome_trace,
     write_csv,
     write_jsonl,
+    write_spans_jsonl,
 )
 from repro.telemetry.hub import Telemetry
 from repro.telemetry.registry import (
@@ -43,6 +56,7 @@ from repro.telemetry.registry import (
 )
 from repro.telemetry.report import render_summary
 from repro.telemetry.sampler import ChannelSample, CoreSample, Sample, Sampler
+from repro.telemetry.spans import RequestSpan, SpanCollector
 
 __all__ = [
     "Telemetry",
@@ -57,9 +71,18 @@ __all__ = [
     "Sample",
     "ChannelSample",
     "CoreSample",
+    "RequestSpan",
+    "SpanCollector",
+    "AttributionReport",
+    "CoreBreakdown",
+    "attribute",
+    "decompose",
+    "format_attribution",
+    "run_metadata",
     "write_jsonl",
     "read_jsonl",
     "write_csv",
     "write_chrome_trace",
+    "write_spans_jsonl",
     "render_summary",
 ]

@@ -23,6 +23,8 @@ from __future__ import annotations
 import csv
 import json
 import os
+import subprocess
+from datetime import datetime, timezone
 from typing import TYPE_CHECKING, Any
 
 from repro.metrics.serialize import to_jsonable
@@ -30,13 +32,16 @@ from repro.util.units import CPU_FREQ_HZ
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.hub import Telemetry
+    from repro.telemetry.spans import RequestSpan
 
 __all__ = [
     "FORMAT",
+    "run_metadata",
     "write_jsonl",
     "read_jsonl",
     "write_csv",
     "write_chrome_trace",
+    "write_spans_jsonl",
 ]
 
 #: format marker on the JSONL header line
@@ -46,6 +51,40 @@ FORMAT = "repro-telemetry-v1"
 DEFAULT_CYCLES_PER_US = CPU_FREQ_HZ / 1e6
 
 
+# -- run metadata ----------------------------------------------------------------
+
+
+def _git_rev() -> str | None:
+    """Current git revision of the working tree, or None outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover - env
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def run_metadata(telemetry: "Telemetry") -> dict:
+    """Self-describing header every exporter embeds.
+
+    Carries the format marker, export wall-clock time, the git revision
+    the artifact was produced from, and the run description the runner
+    stashed in ``telemetry.meta`` (policy, mix/app, seed, budget and the
+    config hash).
+    """
+    return {
+        "format": FORMAT,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_rev": _git_rev(),
+        "sample_every": telemetry.sample_every,
+        "meta": to_jsonable(telemetry.meta),
+    }
+
+
 # -- JSONL ----------------------------------------------------------------------
 
 
@@ -53,12 +92,8 @@ def write_jsonl(telemetry: "Telemetry", path: str | os.PathLike) -> int:
     """Write the whole hub as line-delimited JSON; returns lines written."""
     n = 0
     with open(path, "w") as f:
-        header = {
-            "type": "header",
-            "format": FORMAT,
-            "sample_every": telemetry.sample_every,
-            "meta": to_jsonable(telemetry.meta),
-        }
+        header = {"type": "header"}
+        header.update(run_metadata(telemetry))
         f.write(json.dumps(header) + "\n")
         n += 1
         for s in telemetry.samples:
@@ -71,6 +106,9 @@ def write_jsonl(telemetry: "Telemetry", path: str | os.PathLike) -> int:
             rec.update(to_jsonable(e))
             f.write(json.dumps(rec) + "\n")
             n += 1
+        for rec in _span_records(telemetry):
+            f.write(json.dumps(rec) + "\n")
+            n += 1
         f.write(
             json.dumps({"type": "registry", "instruments": telemetry.registry.snapshot()})
             + "\n"
@@ -79,14 +117,57 @@ def write_jsonl(telemetry: "Telemetry", path: str | os.PathLike) -> int:
     return n
 
 
+def _span_records(telemetry: "Telemetry") -> list[dict]:
+    """Completed request spans as JSONL records, with their attribution."""
+    collector = telemetry.spans
+    if collector is None or not collector.completed:
+        return []
+    from repro.telemetry.attribution import decompose, drain_windows
+
+    t_cl = collector.timing.t_cl
+    end = max(s.done for s in collector.completed)
+    windows = drain_windows(telemetry, end_cycle=end)
+    out = []
+    for s in collector.completed:
+        rec = {
+            "type": "span",
+            "core": s.core_id,
+            "addr": s.addr,
+            "kind": s.kind,
+            "first_attempt": s.first_attempt,
+            "arrival": s.arrival,
+            "pick": s.pick,
+            "bank_start": s.bank_start,
+            "cas": s.cas,
+            "data_start": s.data_start,
+            "data_end": s.data_end,
+            "done": s.done,
+            "latency": s.latency,
+            "channel": s.channel,
+            "bank": s.bank,
+            "row": s.row,
+            "row_hit": s.row_hit,
+            "conflict": s.conflict,
+            "merged_waiters": s.merged_waiters,
+            "components": decompose(
+                s, t_cl, collector.overhead, windows.get(s.track, ())
+            ),
+        }
+        out.append(rec)
+    return out
+
+
 def read_jsonl(path: str | os.PathLike) -> dict[str, Any]:
     """Parse a :func:`write_jsonl` file.
 
     Returns ``{"header": ..., "samples": [...], "events": [...],
-    "registry": {...}}`` with samples/events as plain dicts.  Raises
-    ``ValueError`` for files this library did not write.
+    "spans": [...], "registry": {...}}`` with samples/events/spans as
+    plain dicts.  Raises ``ValueError`` for files this library did not
+    write.
     """
-    out: dict[str, Any] = {"header": None, "samples": [], "events": [], "registry": {}}
+    out: dict[str, Any] = {
+        "header": None, "samples": [], "events": [], "spans": [], "registry": {},
+    }
     with open(path) as f:
         for lineno, line in enumerate(f):
             line = line.strip()
@@ -102,6 +183,8 @@ def read_jsonl(path: str | os.PathLike) -> dict[str, Any]:
                 out["samples"].append(rec)
             elif kind == "event":
                 out["events"].append(rec)
+            elif kind == "span":
+                out["spans"].append(rec)
             elif kind == "registry":
                 out["registry"] = rec.get("instruments", {})
             else:
@@ -115,9 +198,18 @@ def read_jsonl(path: str | os.PathLike) -> dict[str, Any]:
 
 
 def write_csv(telemetry: "Telemetry", path: str | os.PathLike) -> int:
-    """Flatten the sampled series to CSV; returns data rows written."""
+    """Flatten the sampled series to CSV; returns data rows written.
+
+    The file opens with ``#``-prefixed comment lines carrying the run
+    metadata (:func:`run_metadata`); pandas reads it with
+    ``pd.read_csv(path, comment='#')``.
+    """
     samples = telemetry.samples
     with open(path, "w", newline="") as f:
+        meta = run_metadata(telemetry)
+        run = meta.pop("meta", {}).get("run", {})
+        for key, value in {**meta, **run}.items():
+            f.write(f"# {key}: {value}\n")
         w = csv.writer(f)
         if not samples:
             w.writerow(["cycle", "span"])
@@ -249,17 +341,112 @@ def write_chrome_trace(
             rec["args"] = to_jsonable(e.args)
         events.append(rec)
 
+    events += _span_slices(telemetry, pid, tids, ts)
+
+    meta = run_metadata(telemetry)
+    meta["cycles_per_us"] = cycles_per_us
     doc = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {
-            "format": FORMAT,
-            "sample_every": telemetry.sample_every,
-            "cycles_per_us": cycles_per_us,
-            "meta": to_jsonable(telemetry.meta),
-        },
+        "otherData": meta,
     }
     with open(path, "w") as f:
         json.dump(doc, f)
         f.write("\n")
     return len(events)
+
+
+#: inner phase boundaries of a span slice, in timeline order
+_SPAN_PHASES = (
+    ("stall", "first_attempt", "arrival"),
+    ("queue", "arrival", "pick"),
+    ("bank", "pick", "bank_start"),
+    ("row", "bank_start", "cas"),
+    ("xfer", "cas", "data_end"),
+    ("return", "data_end", "done"),
+)
+
+
+def _span_slices(telemetry: "Telemetry", pid: int, tids: dict[str, int], ts) -> list[dict]:
+    """Duration slices for traced request spans, one track per core.
+
+    Concurrent spans of one core spill onto extra lanes (``core0 req``,
+    ``core0 req.2``, ...): each span takes the first lane whose previous
+    occupant ended at or before the span begins, so slices on a lane
+    never overlap and Perfetto renders each as its own row.  Inside the
+    outer request slice, the non-empty lifecycle phases nest as
+    sequential sub-slices.
+    """
+    collector = telemetry.spans
+    if collector is None or not collector.completed:
+        return []
+    out: list[dict] = []
+    for core_id, spans in sorted(collector.per_core().items()):
+        spans = sorted(spans, key=lambda s: (s.first_attempt, s.done))
+        lanes: list[int] = []  # per lane: end cycle of its last span
+        lane_tids: list[int] = []
+        for s in spans:
+            for lane, busy_until in enumerate(lanes):
+                if busy_until <= s.first_attempt:
+                    break
+            else:
+                lane = len(lanes)
+                lanes.append(0)
+                name = f"core{core_id} req" + (f".{lane + 1}" if lane else "")
+                lane_tids.append(len(tids))
+                tids[name] = lane_tids[lane]
+                out.append(
+                    {"ph": "M", "pid": pid, "tid": lane_tids[lane],
+                     "name": "thread_name", "args": {"name": name}}
+                )
+            lanes[lane] = s.done
+            tid = lane_tids[lane]
+            label = f"{s.kind} ch{s.channel} bank{s.bank}"
+            out.append(
+                {"ph": "B", "pid": pid, "tid": tid, "ts": ts(s.first_attempt),
+                 "name": label, "cat": "span",
+                 "args": {"addr": hex(s.addr), "latency_cycles": s.latency,
+                          "row": s.row, "row_hit": s.row_hit,
+                          "conflict": s.conflict,
+                          "merged_waiters": s.merged_waiters}}
+            )
+            for phase, b_attr, e_attr in _SPAN_PHASES:
+                b, e = getattr(s, b_attr), getattr(s, e_attr)
+                if e <= b:
+                    continue  # empty phase: skip the zero-width slice
+                out.append(
+                    {"ph": "B", "pid": pid, "tid": tid, "ts": ts(b),
+                     "name": phase, "cat": "span"}
+                )
+                out.append(
+                    {"ph": "E", "pid": pid, "tid": tid, "ts": ts(e),
+                     "cat": "span"}
+                )
+            out.append(
+                {"ph": "E", "pid": pid, "tid": tid, "ts": ts(s.done),
+                 "cat": "span"}
+            )
+    return out
+
+
+def write_spans_jsonl(telemetry: "Telemetry", path: str | os.PathLike) -> int:
+    """Write only the traced spans (plus header) as JSONL; returns lines.
+
+    The slim artifact behind ``--spans-out``: one record per traced
+    request with every lifecycle stamp and its attribution components,
+    without the sampled time series.
+    """
+    n = 0
+    with open(path, "w") as f:
+        header = {"type": "header"}
+        header.update(run_metadata(telemetry))
+        if telemetry.spans is not None:
+            header["span_sample_every"] = telemetry.spans.sample_every
+            header["spans_offered"] = telemetry.spans.offered
+            header["spans_dropped"] = telemetry.spans.dropped
+        f.write(json.dumps(header) + "\n")
+        n += 1
+        for rec in _span_records(telemetry):
+            f.write(json.dumps(rec) + "\n")
+            n += 1
+    return n

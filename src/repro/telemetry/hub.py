@@ -41,6 +41,13 @@ class Telemetry:
         Opt-in high-volume streams: per-decision and per-DRAM-command
         events on the bus.  The periodic series does not need them; the
         Chrome trace is far richer with them.
+    capture_spans / span_sample:
+        Opt-in per-request lifecycle tracing
+        (:mod:`repro.telemetry.spans`): every ``span_sample``-th memory
+        request carries a stage-stamped span record, decomposable into
+        additive latency components by
+        :func:`repro.telemetry.attribution.attribute`.  ``span_sample=1``
+        traces every request.
     retain_events:
         ``False`` turns the bus into a pure pipe for streaming consumers.
     """
@@ -50,6 +57,8 @@ class Telemetry:
         sample_every: int = 1000,
         capture_decisions: bool = False,
         capture_commands: bool = False,
+        capture_spans: bool = False,
+        span_sample: int = 64,
         retain_events: bool = True,
     ) -> None:
         if sample_every < 1:
@@ -60,6 +69,12 @@ class Telemetry:
         self.registry = TelemetryRegistry(enabled=True)
         self.bus = TelemetryBus(retain=retain_events)
         self.samples: list[Sample] = []
+        #: request-lifecycle span collector, or None when not capturing
+        self.spans = None
+        if capture_spans:
+            from repro.telemetry.spans import SpanCollector
+
+            self.spans = SpanCollector(sample_every=span_sample)
         #: free-form run description exporters embed (policy, mix, seed...)
         self.meta: dict = {}
 

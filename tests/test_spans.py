@@ -1,0 +1,223 @@
+"""Tests for request-lifecycle spans and stall attribution.
+
+Covers the PR's acceptance criteria:
+
+* components of every traced span sum *exactly* to its end-to-end
+  latency (the conservation invariant), on a deterministic multi-core
+  workload;
+* span stamps are monotone and the exported Chrome trace is valid
+  trace-event JSON with properly nested span slices;
+* per-core breakdowns move in the paper-predicted direction between
+  HF-RF and ME-LREQ (the high-ME core's buffered-wait share shrinks);
+* a run with span tracing enabled is bit-identical to one without.
+"""
+
+import json
+
+import pytest
+
+from repro.metrics.memory_efficiency import MeProfiler
+from repro.sim.runner import run_multicore
+from repro.telemetry import (
+    Telemetry,
+    attribute,
+    decompose,
+    format_attribution,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_spans_jsonl,
+)
+from repro.telemetry.attribution import COMPONENTS, drain_windows
+from repro.telemetry.spans import RequestSpan, SpanCollector
+from repro.workloads.mixes import workload_by_name
+
+BUDGET = 8000
+
+#: stage stamps in required timeline order
+_STAGE_ORDER = (
+    "first_attempt", "arrival", "pick", "bank_start", "cas",
+    "data_start", "data_end", "done",
+)
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One span-traced 4-core run shared by the read-only assertions."""
+    tm = Telemetry(sample_every=2000, capture_spans=True, span_sample=4)
+    result = run_multicore(
+        workload_by_name("4MEM-1"), "HF-RF", inst_budget=BUDGET, seed=1,
+        telemetry=tm,
+    )
+    return tm, result
+
+
+class TestSpanCollector:
+    def test_deterministic_sampling_rate(self):
+        c = SpanCollector(sample_every=3)
+        traced = [
+            c.start_request(0, line, "read", cycle=line) is not None
+            for line in range(12)
+        ]
+        assert traced == [False, False, True] * 4
+        assert c.offered == 12
+
+    def test_sample_every_one_traces_everything(self):
+        c = SpanCollector(sample_every=1)
+        assert all(
+            c.start_request(0, i, "read", 0) is not None for i in range(5)
+        )
+
+    def test_blocked_stamp_consumed_by_reads_only(self):
+        c = SpanCollector(sample_every=1)
+        c.note_blocked(0, cycle=10, line=7)
+        # A writeback from the same core must not consume the stamp...
+        wb = c.start_request(0, 7, "write", 30)
+        assert wb.first_attempt == 30
+        # ...so the demand read that was actually stalled still gets it.
+        rd = c.start_request(0, 7, "read", 40)
+        assert rd.first_attempt == 10
+
+    def test_blocked_stamp_keeps_first_cycle(self):
+        c = SpanCollector(sample_every=1)
+        c.note_blocked(0, cycle=10, line=7)
+        c.note_blocked(0, cycle=25, line=7)  # retry: must not advance
+        assert c.start_request(0, 7, "read", 40).first_attempt == 10
+
+    def test_merges_count_until_fill_returns(self):
+        c = SpanCollector(sample_every=1)
+        span = c.start_request(1, 99, "read", 0)
+        c.note_merge(1, 99, 5)
+        c.finish(span)
+        c.note_merge(1, 99, 9)  # between commit and fill delivery
+        c.end_inflight(1, 99)
+        c.note_merge(1, 99, 12)  # after the fill: no longer merging
+        assert span.merged_waiters == 2
+
+
+class TestConservation:
+    def test_components_sum_exactly_to_latency(self, traced):
+        tm, _ = traced
+        spans = tm.spans.completed
+        assert len(spans) > 100, "workload too short to exercise tracing"
+        t_cl = tm.spans.timing.t_cl
+        windows = drain_windows(tm)
+        for s in spans:
+            parts = decompose(
+                s, t_cl, tm.spans.overhead, windows.get(s.track, ())
+            )
+            assert sum(parts.values()) == s.latency
+            assert all(v >= 0 for v in parts.values())
+            assert set(parts) == set(COMPONENTS)
+
+    def test_stamps_monotone(self, traced):
+        tm, _ = traced
+        for s in tm.spans.completed:
+            stamps = [getattr(s, name) for name in _STAGE_ORDER]
+            assert stamps == sorted(stamps), f"non-monotone stamps on {s!r}"
+
+    def test_decompose_rejects_incomplete_span(self):
+        span = RequestSpan(0, 0x40, "read", 100)
+        with pytest.raises(ValueError):
+            decompose(span, t_cl=40)
+
+    def test_attribution_report_totals_conserve(self, traced):
+        tm, _ = traced
+        report = attribute(tm, kind="all")
+        assert report.spans_used == report.spans_seen == len(tm.spans.completed)
+        total_latency = sum(s.latency for s in tm.spans.completed)
+        assert sum(report.totals().values()) == total_latency
+        # The rendered table includes every component column.
+        text = format_attribution(report)
+        for comp in COMPONENTS:
+            assert comp in text
+
+
+class TestExports:
+    def test_chrome_trace_spans_parse_and_nest(self, traced, tmp_path):
+        tm, _ = traced
+        path = tmp_path / "spans.trace.json"
+        write_chrome_trace(tm, path)
+        with open(path) as f:
+            doc = json.load(f)  # must be valid JSON
+        span_events = [e for e in doc["traceEvents"] if e.get("cat") == "span"]
+        assert span_events, "no span slices in the trace"
+        # Per tid: timestamps monotone in emission order (ties allowed)
+        # and B/E strictly balanced, never negative depth => proper
+        # nesting when the viewer replays them.
+        by_tid = {}
+        for e in span_events:
+            by_tid.setdefault(e["tid"], []).append(e)
+        for tid, evs in by_tid.items():
+            last_ts = -1.0
+            depth = 0
+            for e in evs:
+                assert e["ts"] >= last_ts
+                last_ts = e["ts"]
+                depth += 1 if e["ph"] == "B" else -1
+                assert depth >= 0
+            assert depth == 0, f"unbalanced B/E on tid {tid}"
+        assert doc["otherData"]["format"] == "repro-telemetry-v1"
+
+    def test_jsonl_span_records_round_trip(self, traced, tmp_path):
+        tm, _ = traced
+        path = tmp_path / "run.jsonl"
+        write_jsonl(tm, path)
+        back = read_jsonl(path)
+        assert len(back["spans"]) == len(tm.spans.completed)
+        for rec in back["spans"]:
+            assert sum(rec["components"].values()) == rec["latency"]
+        assert back["header"]["meta"]["run"]["policy"] == "HF-RF"
+        assert "config_hash" in back["header"]["meta"]["run"]
+
+    def test_spans_jsonl_artifact(self, traced, tmp_path):
+        tm, _ = traced
+        path = tmp_path / "spans.jsonl"
+        lines = write_spans_jsonl(tm, path)
+        assert lines == 1 + len(tm.spans.completed)
+        with open(path) as f:
+            header = json.loads(f.readline())
+        assert header["span_sample_every"] == 4
+        assert header["spans_offered"] == tm.spans.offered
+
+
+class TestBitIdentity:
+    def test_spans_do_not_perturb_results(self):
+        mix = workload_by_name("2MEM-1")
+
+        def fingerprint(tm):
+            r = run_multicore(
+                mix, "LREQ", inst_budget=4000, seed=1, telemetry=tm
+            )
+            return (
+                r.end_cycle, r.ipcs(), r.row_hit_rate,
+                tuple(c.avg_read_latency for c in r.per_core),
+                tuple(c.bw_gbps for c in r.per_core),
+            )
+
+        base = fingerprint(None)
+        spanned = fingerprint(
+            Telemetry(capture_spans=True, span_sample=1)
+        )
+        assert spanned == base
+
+
+class TestPolicyDirection:
+    def test_me_lreq_cuts_high_me_core_queue_share(self):
+        """Paper direction: ME-LREQ prioritises high-ME cores, so the
+        highest-ME core's buffered-wait (queue + drain) share of its
+        read latency must drop relative to HF-RF."""
+        mix = workload_by_name("4MEM-1")
+        me = MeProfiler(inst_budget=10_000, seed=1).me_values(mix)
+        top = me.index(max(me))
+
+        def queue_share(policy):
+            tm = Telemetry(capture_spans=True, span_sample=4)
+            run_multicore(
+                mix, policy, inst_budget=20_000, seed=1, me_values=me,
+                telemetry=tm,
+            )
+            report = attribute(tm, kind="read")
+            return report.core(top).queue_share()
+
+        assert queue_share("ME-LREQ") < queue_share("HF-RF")

@@ -180,7 +180,12 @@ class TestSamplerEpochMath:
             assert s.cycle == (i + 1) * every
             assert s.span == every
         last = samples[-1]
-        assert last.cycle == system.engine.now
+        # Regression: commit crossings are interpolated analytically and
+        # can land past the last engine event, so the tail epoch must
+        # flush to the true end of run, not to engine.now — otherwise
+        # the final cycles (and their committed instructions) vanish
+        # from the series.
+        assert last.cycle == max(system.engine.now, system.end_cycle)
         assert 0 < last.span <= every
         assert last.cycle == sum(s.span for s in samples)
 
@@ -252,7 +257,13 @@ class TestExporters:
         rows = write_csv(tm, path)
         assert rows == len(tm.samples)
         with open(path, newline="") as f:
-            parsed = list(csv.DictReader(f))
+            comments = []
+            data = []
+            for line in f:
+                (comments if line.startswith("#") else data).append(line)
+            parsed = list(csv.DictReader(data))
+        # metadata rides ahead of the header as '# key: value' comments
+        assert any(c.startswith("# format:") for c in comments)
         assert len(parsed) == rows
         for rec, s in zip(parsed, tm.samples):
             assert int(rec["cycle"]) == s.cycle
