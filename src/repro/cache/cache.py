@@ -16,7 +16,7 @@ from repro.config import CacheConfig
 __all__ = ["CacheStats", "SetAssocCache"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss/eviction counters."""
 
@@ -46,16 +46,17 @@ class SetAssocCache:
         Label for diagnostics ("L1D[2]", "L2", ...).
     """
 
-    __slots__ = ("config", "name", "stats", "_sets", "_set_mask", "_off_bits")
+    __slots__ = ("config", "name", "stats", "_sets", "_set_mask", "_off_bits", "_assoc")
 
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
         config.validate()
         self.config = config
         self.name = name
         self.stats = CacheStats()
-        self._sets: list[dict[int, bool]] = [dict() for _ in range(config.num_sets)]
+        self._sets: list[dict[int, bool]] = [{} for _ in range(config.num_sets)]
         self._set_mask = config.num_sets - 1
         self._off_bits = config.line_bytes.bit_length() - 1
+        self._assoc = config.assoc
 
     # -- address split ------------------------------------------------------
 
@@ -73,9 +74,13 @@ class SetAssocCache:
 
         On a hit the line becomes most-recently-used and, for writes, dirty.
         Returns ``True`` on hit.
+
+        The tag/index arithmetic is inlined here (and in the other
+        operations) rather than calling :meth:`set_index`/:meth:`_tag` —
+        this is the single most-called function in a simulation.
         """
-        s = self._sets[self.set_index(addr)]
-        tag = self._tag(addr)
+        tag = addr >> self._off_bits
+        s = self._sets[tag & self._set_mask]
         if tag in s:
             dirty = s.pop(tag) or is_write  # move-to-back refreshes recency
             s[tag] = dirty
@@ -86,12 +91,13 @@ class SetAssocCache:
 
     def probe(self, addr: int) -> bool:
         """Hit check without touching recency or stats."""
-        return self._tag(addr) in self._sets[self.set_index(addr)]
+        tag = addr >> self._off_bits
+        return tag in self._sets[tag & self._set_mask]
 
     def is_dirty(self, addr: int) -> bool:
         """Whether the resident line containing ``addr`` is dirty."""
-        s = self._sets[self.set_index(addr)]
-        return s.get(self._tag(addr), False)
+        tag = addr >> self._off_bits
+        return self._sets[tag & self._set_mask].get(tag, False)
 
     def fill(self, addr: int, *, dirty: bool = False) -> tuple[int, bool] | None:
         """Install the line containing ``addr`` as most-recently-used.
@@ -100,14 +106,13 @@ class SetAssocCache:
         full, else ``None``.  Filling an already-resident line just
         refreshes recency (and ORs the dirty flag).
         """
-        idx = self.set_index(addr)
-        s = self._sets[idx]
-        tag = self._tag(addr)
+        tag = addr >> self._off_bits
+        s = self._sets[tag & self._set_mask]
         if tag in s:
             s[tag] = s.pop(tag) or dirty
             return None
         evicted: tuple[int, bool] | None = None
-        if len(s) >= self.config.assoc:
+        if len(s) >= self._assoc:
             victim_tag = next(iter(s))  # front of dict == LRU
             victim_dirty = s.pop(victim_tag)
             evicted = (victim_tag << self._off_bits, victim_dirty)
@@ -124,8 +129,8 @@ class SetAssocCache:
         Does NOT refresh recency: this is the writeback-update path (a
         dirty L1 victim merging into L2), not a demand use of the line.
         """
-        s = self._sets[self.set_index(addr)]
-        tag = self._tag(addr)
+        tag = addr >> self._off_bits
+        s = self._sets[tag & self._set_mask]
         if tag not in s:
             return False
         s[tag] = True  # in-place: insertion order (LRU position) unchanged
@@ -133,8 +138,8 @@ class SetAssocCache:
 
     def invalidate(self, addr: int) -> bool:
         """Drop the line containing ``addr``; returns whether it was present."""
-        s = self._sets[self.set_index(addr)]
-        return s.pop(self._tag(addr), None) is not None
+        tag = addr >> self._off_bits
+        return self._sets[tag & self._set_mask].pop(tag, None) is not None
 
     def resident_lines(self) -> int:
         """Number of valid lines (for occupancy tests)."""

@@ -59,6 +59,10 @@ class CacheHierarchy:
         self.num_cores = num_cores
         self.line_bytes = cc.l2.line_bytes
         self._line_mask = ~(self.line_bytes - 1)
+        # Hit latencies resolved once at assembly time: access() is called
+        # for every data reference and must not walk config dataclasses.
+        self._l1_hit_latency = cc.l1d.hit_latency
+        self._l2_hit_latency = cc.l1d.hit_latency + cc.l2.hit_latency
         self.l1d = [
             SetAssocCache(cc.l1d, name=f"L1D[{i}]") for i in range(num_cores)
         ]
@@ -120,22 +124,65 @@ class CacheHierarchy:
         both, ``waiter(line_addr, done_cycle)`` will fire — or
         :data:`BLOCKED` (retry after :meth:`wait_unblock`).
         """
-        cc = self.config.caches
         self.demand_accesses[core_id] += 1
+        # The L1 and L2 lookups are inlined bodies of
+        # SetAssocCache.lookup — this is the hottest call chain in a
+        # simulation, and the two calls it saves per reference are
+        # measurable.  Keep in sync with cache.py.  The core model inlines
+        # this same L1 prefix itself (see TraceCore._fetch_mem_op) and
+        # jumps straight to :meth:`access_after_l1_miss`.
         l1 = self.l1d[core_id]
-        if l1.lookup(addr, is_write=is_write):
-            return cc.l1d.hit_latency
-        line = self.line_of(addr)
-        if self.l2.lookup(line):
-            if line in self._prefetched_lines:
+        tag = addr >> l1._off_bits
+        s = l1._sets[tag & l1._set_mask]
+        if tag in s:
+            s[tag] = s.pop(tag) or is_write  # move-to-back refreshes recency
+            l1.stats.hits += 1
+            return self._l1_hit_latency
+        l1.stats.misses += 1
+        return self.access_after_l1_miss(core_id, addr, is_write, now, waiter)
+
+    def access_after_l1_miss(
+        self,
+        core_id: int,
+        addr: int,
+        is_write: bool,
+        now: int,
+        waiter: Waiter | None,
+    ) -> int:
+        """Continuation of :meth:`access` once the L1 has missed.
+
+        The caller must already have charged the reference to
+        ``demand_accesses`` and the L1 stats — this entry point exists so
+        the core model can run the (overwhelmingly common) L1-hit path
+        without any call into the hierarchy.
+        """
+        line = addr & self._line_mask
+        l2 = self.l2
+        tag = line >> l2._off_bits
+        s = l2._sets[tag & l2._set_mask]
+        if tag in s:
+            s[tag] = s.pop(tag)
+            l2.stats.hits += 1
+            if self.prefetcher is not None and line in self._prefetched_lines:
                 self._prefetched_lines.discard(line)
                 self.prefetcher.mark_useful()
             self._fill_l1(core_id, line, dirty=is_write, now=now)
-            return cc.l1d.hit_latency + cc.l2.hit_latency
-        # L2 demand miss (counted by the lookup above).
+            return self._l2_hit_latency
+        # L2 demand miss.  The merge/full tests are the inlined guts of
+        # MshrFile.outstanding/allocate/is_full (keep in sync with
+        # mshr.py) — this path runs once per retry of every blocked
+        # reference, not just once per miss.
+        l2.stats.misses += 1
         mshr = self.mshrs[core_id]
-        if mshr.outstanding(line):
-            mshr.allocate(line, waiter, now)  # merge
+        entries = mshr._entries
+        waiters = entries.get(line)
+        if waiters is not None:
+            # Merge onto the in-flight miss.
+            if waiter is not None:
+                waiters.append(waiter)
+            mshr.merges += 1
+            if mshr.on_merge is not None:
+                mshr.on_merge(line, now)
             if line in self._prefetch_inflight:
                 # demand caught up with an in-flight prefetch
                 self.prefetcher.mark_useful()
@@ -143,7 +190,7 @@ class CacheHierarchy:
             if is_write:
                 self._store_pending.add(line)
             return MERGED
-        if mshr.is_full or self._l2_outstanding >= self.l2_mshr_cap:
+        if len(entries) >= mshr.capacity or self._l2_outstanding >= self.l2_mshr_cap:
             return BLOCKED
         if not self.controller.can_accept():
             return BLOCKED
@@ -242,12 +289,31 @@ class CacheHierarchy:
     # -- fill / writeback paths --------------------------------------------------
 
     def _on_fill(self, req: MemoryRequest, now: int) -> None:
-        """Read data returned from DRAM: install the line, wake waiters."""
+        """Read data returned from DRAM: install the line, wake waiters.
+
+        The L2 install is the inlined body of SetAssocCache.fill (keep in
+        sync with cache.py) — this runs once per memory request.
+        """
         line = req.addr
         core = req.core_id
         dirty = line in self._store_pending
         self._store_pending.discard(line)
-        evicted = self.l2.fill(line, dirty=False)
+        l2 = self.l2
+        tag = line >> l2._off_bits
+        s = l2._sets[tag & l2._set_mask]
+        evicted = None
+        if tag in s:
+            s[tag] = s.pop(tag)  # refresh recency; fill is clean
+        else:
+            if len(s) >= l2._assoc:
+                victim_tag = next(iter(s))  # front of dict == LRU
+                victim_dirty = s.pop(victim_tag)
+                l2.stats.evictions += 1
+                if victim_dirty:
+                    l2.stats.dirty_evictions += 1
+                evicted = (victim_tag << l2._off_bits, victim_dirty)
+            s[tag] = False
+            l2.stats.fills += 1
         self._owner[line] = core
         if evicted is not None:
             self._handle_l2_eviction(evicted, now)
@@ -259,14 +325,29 @@ class CacheHierarchy:
         self._on_resource_freed(now)
 
     def _fill_l1(self, core_id: int, line: int, *, dirty: bool, now: int) -> None:
-        evicted = self.l1d[core_id].fill(line, dirty=dirty)
-        if evicted is None:
+        # Inlined body of SetAssocCache.fill (keep in sync with cache.py):
+        # one call per L2 hit and per fill, hot enough to flatten.
+        l1 = self.l1d[core_id]
+        tag = line >> l1._off_bits
+        s = l1._sets[tag & l1._set_mask]
+        if tag in s:
+            s[tag] = s.pop(tag) or dirty
             return
-        v_addr, v_dirty = evicted
+        v_dirty = False
+        v_tag = 0
+        if len(s) >= l1._assoc:
+            v_tag = next(iter(s))  # front of dict == LRU
+            v_dirty = s.pop(v_tag)
+            l1.stats.evictions += 1
+            if v_dirty:
+                l1.stats.dirty_evictions += 1
+        s[tag] = dirty
+        l1.stats.fills += 1
         if not v_dirty:
             return
         # Dirty L1 victim: update the L2 copy; if L2 lost the line in the
         # meantime (non-inclusive drift), write it back to memory directly.
+        v_addr = v_tag << l1._off_bits
         if not self.l2.set_dirty(v_addr):
             self._emit_writeback(core_id, v_addr, now)
 

@@ -134,13 +134,25 @@ class MemoryController:
         self._space_waiters: list[Callable[[int], None]] = []
         #: per-channel flag: a scheduler event is already queued
         self._sched_pending = [False] * len(dram.channels)
+        #: bank-ready eligibility horizon offset (see _bank_ready_filter)
+        self._ready_horizon = 2 * dram.timing.t_burst
         policy.setup(num_cores, rng.child("policy"))
+        #: reusable scheduling context — one per controller, mutated at
+        #: each scheduling point instead of allocated (policies only read
+        #: it during the select call; nothing retains it).  queues/dram/rng
+        #: never change and ``hits_prefiltered`` is a property of the
+        #: bound policy, so only ``now``/``channel`` vary.
+        self._ctx = SchedulingContext(
+            0, 0, self.queues, self.dram, self.rng,
+            hits_prefiltered=policy.hit_first_global,
+        )
 
     # -- request intake --------------------------------------------------------
 
     def can_accept(self) -> bool:
         """Whether the shared buffer has a free slot."""
-        return not self.queues.is_full
+        q = self.queues
+        return q.occupancy < q.capacity
 
     def enqueue(self, req: MemoryRequest, now: int) -> bool:
         """Accept ``req`` into the buffer; returns ``False`` when full.
@@ -148,13 +160,15 @@ class MemoryController:
         On ``False`` the caller must stall and register via
         :meth:`wait_for_space` to be re-woken.
         """
-        if self.queues.is_full:
+        queues = self.queues
+        if queues.occupancy >= queues.capacity:
             return False
-        req.coord = self.dram.coord(req.addr)
+        coord = self.dram.coord(req.addr)
+        req.coord = coord
         req.arrival_cycle = now
         self.queues.add(req)
         self._update_drain_mode(now)
-        self._kick_channel(req.coord.channel, now)
+        self._kick_channel(coord.channel, now)
         return True
 
     def wait_for_space(self, callback: Callable[[int], None]) -> None:
@@ -184,8 +198,12 @@ class MemoryController:
         if self._sched_pending[channel]:
             return
         self._sched_pending[channel] = True
-        when = self.dram.channels[channel].earliest_issue(now)
-        self.engine.schedule(when, self._on_schedule_point, channel)
+        # Inlined Channel.earliest_issue — this runs once per enqueue AND
+        # once per commit, so the method call is worth flattening.
+        busy = self.dram.channels[channel].busy_until
+        self.engine.schedule(
+            busy if busy > now else now, self._on_schedule_point, channel
+        )
 
     def _on_schedule_point(self, now: int, channel: int) -> None:
         self._sched_pending[channel] = False
@@ -204,45 +222,78 @@ class MemoryController:
         scheduler) or ``None``.
         """
         self._update_drain_mode(now)
+        # One pass per queue: partition by kind *and* apply the bank-ready
+        # eligibility filter (see :meth:`_bank_ready_filter` for its
+        # rationale) in the same loop.  ``*_wake`` carries the earliest
+        # cycle a bank-busy request of that kind becomes eligible; it only
+        # matters when the corresponding ready list comes back empty —
+        # exactly the contract the two-pass version had.
+        banks = self.dram.channels[channel].banks
+        # One ready-cycle snapshot per scheduling point: list indexing in
+        # the per-request loops below is much cheaper than the
+        # ``banks[i].ready_cycle`` attribute chase (bank state cannot
+        # change between here and the commit this call leads to).
+        ready_by_bank = [b.ready_cycle for b in banks]
+        horizon = now + self._ready_horizon
         demand: list[MemoryRequest] = []
         prefetch: list[MemoryRequest] = []
         writes: list[MemoryRequest] = []
+        d_wake: int | None = None
+        p_wake: int | None = None
+        w_wake: int | None = None
         future: int | None = None
-        for r in self.queues.reads:
-            if r.coord.channel != channel:
-                continue
-            if r.arrival_cycle <= now:
-                (prefetch if r.is_prefetch else demand).append(r)
-            elif future is None or r.arrival_cycle < future:
-                future = r.arrival_cycle
-        for w in self.queues.writes:
-            if w.coord.channel != channel:
-                continue
-            if w.arrival_cycle <= now:
-                writes.append(w)
-            elif future is None or w.arrival_cycle < future:
-                future = w.arrival_cycle
-        if self.drain_mode and writes:
+        qs = self.queues
+        rbc = qs.reads_by_ch
+        wbc = qs.writes_by_ch
+        any_demand = any_prefetch = any_write = False
+        for r in rbc[channel] if channel < len(rbc) else ():
+            arrival = r.arrival_cycle
+            if arrival <= now:
+                t = ready_by_bank[r.bank]
+                if r.is_prefetch:
+                    any_prefetch = True
+                    if t <= horizon:
+                        prefetch.append(r)
+                    elif p_wake is None or t < p_wake:
+                        p_wake = t
+                else:
+                    any_demand = True
+                    if t <= horizon:
+                        demand.append(r)
+                    elif d_wake is None or t < d_wake:
+                        d_wake = t
+            elif future is None or arrival < future:
+                future = arrival
+        for w in wbc[channel] if channel < len(wbc) else ():
+            arrival = w.arrival_cycle
+            if arrival <= now:
+                any_write = True
+                t = ready_by_bank[w.bank]
+                if t <= horizon:
+                    writes.append(w)
+                elif w_wake is None or t < w_wake:
+                    w_wake = t
+            elif future is None or arrival < future:
+                future = arrival
+        if self.drain_mode and any_write:
             # Drain: writes take precedence until the low watermark.
-            ready, wake = self._bank_ready_filter(channel, writes, now)
-            return ready, True, _min_opt(future, wake)
+            return writes, True, _min_opt(future, None if writes else w_wake)
         wake_all: int | None = None
-        if demand:
-            ready, wake = self._bank_ready_filter(channel, demand, now)
-            if ready:
-                return ready, False, _min_opt(future, wake)
-            wake_all = _min_opt(wake_all, wake)
+        if any_demand:
+            if demand:
+                return demand, False, future
+            wake_all = d_wake
         # Demand-first over prefetches: speculative fills only use slots no
         # demand read can.
-        if prefetch:
-            ready, wake = self._bank_ready_filter(channel, prefetch, now)
-            if ready:
-                return ready, False, _min_opt(future, _min_opt(wake_all, wake))
-            wake_all = _min_opt(wake_all, wake)
+        if any_prefetch:
+            if prefetch:
+                return prefetch, False, _min_opt(future, wake_all)
+            wake_all = _min_opt(wake_all, p_wake)
         # Idle-channel opportunism: writes proceed when no read wants the
         # channel ('writes are scheduled after read requests').
-        ready, wake = self._bank_ready_filter(channel, writes, now)
-        return ready, True, _min_opt(future, _min_opt(wake_all, wake))
+        return writes, True, _min_opt(
+            future, _min_opt(wake_all, None if writes else w_wake)
+        )
 
     def _bank_ready_filter(
         self, channel: int, candidates: list[MemoryRequest], now: int
@@ -263,7 +314,7 @@ class MemoryController:
         ready: list[MemoryRequest] = []
         wake: int | None = None
         for r in candidates:
-            t = banks[r.coord.bank].ready_cycle
+            t = banks[r.bank].ready_cycle
             if t <= horizon:
                 ready.append(r)
             elif wake is None or t < wake:
@@ -281,11 +332,18 @@ class MemoryController:
             if next_arrival is not None:
                 self._kick_channel(channel, next_arrival)
             return  # idle; next enqueue will kick us
-        ctx = SchedulingContext(now, channel, self.queues, self.dram, self.rng)
-        if self.policy.hit_first_global and len(candidates) > 1:
+        ctx = self._ctx
+        ctx.now = now
+        ctx.channel = channel
+        if ctx.hits_prefiltered and len(candidates) > 1:
             # The paper's command-level rule: row-buffer hits beat misses
-            # regardless of core priority (Sections 3.2 / 4.1).
-            hits = [r for r in candidates if self.dram.is_row_hit(r.coord)]
+            # regardless of core priority (Sections 3.2 / 4.1).  Row state
+            # is probed directly on the channel's bank array — every
+            # candidate is on this channel by construction.
+            open_rows = [b.open_row for b in self.dram.channels[channel].banks]
+            hits = [
+                r for r in candidates if open_rows[r.bank] == r.row
+            ]
             if hits:
                 candidates = hits
         if is_write:
@@ -294,7 +352,7 @@ class MemoryController:
             req = self.policy.select_read(candidates, ctx)
         self._commit(req, channel, now)
         # More work? Re-arm at the channel's next issue opportunity.
-        if self.queues.reads or self.queues.writes:
+        if self.queues.occupancy:
             self._kick_channel(channel, now)
 
     def _commit(self, req: MemoryRequest, channel: int, now: int) -> None:

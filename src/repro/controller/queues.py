@@ -28,8 +28,11 @@ class RequestQueues:
         "num_cores",
         "reads",
         "writes",
+        "reads_by_ch",
+        "writes_by_ch",
         "pending_reads",
         "pending_writes",
+        "occupancy",
         "_next_seq",
     )
 
@@ -42,16 +45,22 @@ class RequestQueues:
         self.num_cores = num_cores
         self.reads: list[MemoryRequest] = []
         self.writes: list[MemoryRequest] = []
+        #: per-channel views of the two queues, maintained incrementally in
+        #: age order (grown on demand as channels appear).  The scheduler
+        #: consults one channel per scheduling point, so these spare it a
+        #: full-buffer scan each time.  Treat as read-only outside this
+        #: class; requests without a resolved ``coord`` are not indexed.
+        self.reads_by_ch: list[list[MemoryRequest]] = []
+        self.writes_by_ch: list[list[MemoryRequest]] = []
         #: outstanding read/write request counts per core (queue occupancy)
         self.pending_reads = [0] * num_cores
         self.pending_writes = [0] * num_cores
+        #: total buffered requests — a plain counter, not a property: the
+        #: full/space test runs on every access retry and must be O(1)
+        self.occupancy = 0
         self._next_seq = 0
 
     # -- capacity ------------------------------------------------------------
-
-    @property
-    def occupancy(self) -> int:
-        return len(self.reads) + len(self.writes)
 
     @property
     def is_full(self) -> bool:
@@ -72,12 +81,13 @@ class RequestQueues:
             If the buffer is full — callers must check :attr:`is_full`
             first and apply back-pressure to the core.
         """
-        if self.is_full:
+        if self.occupancy >= self.capacity:
             raise OverflowError("controller buffer full")
         if not 0 <= req.core_id < self.num_cores:
             raise ValueError(f"core_id {req.core_id} out of range")
         req.seq = self._next_seq
         self._next_seq += 1
+        self.occupancy += 1
         if req.is_write:
             self.writes.append(req)
             self.pending_writes[req.core_id] += 1
@@ -88,9 +98,17 @@ class RequestQueues:
             # counters track demand reads).
             if not req.is_prefetch:
                 self.pending_reads[req.core_id] += 1
+        coord = req.coord
+        if coord is not None:
+            by_ch = self.writes_by_ch if req.is_write else self.reads_by_ch
+            ch = coord.channel
+            while len(by_ch) <= ch:
+                by_ch.append([])
+            by_ch[ch].append(req)
 
     def remove(self, req: MemoryRequest) -> None:
         """Remove a scheduled request and release its counter."""
+        self.occupancy -= 1
         if req.is_write:
             self.writes.remove(req)
             self.pending_writes[req.core_id] -= 1
@@ -98,16 +116,22 @@ class RequestQueues:
             self.reads.remove(req)
             if not req.is_prefetch:
                 self.pending_reads[req.core_id] -= 1
+        coord = req.coord
+        if coord is not None:
+            by_ch = self.writes_by_ch if req.is_write else self.reads_by_ch
+            by_ch[coord.channel].remove(req)
 
     # -- views ---------------------------------------------------------------
 
     def reads_for_channel(self, channel: int) -> list[MemoryRequest]:
         """Pending reads whose line maps to ``channel`` (age order)."""
-        return [r for r in self.reads if r.coord.channel == channel]
+        by_ch = self.reads_by_ch
+        return list(by_ch[channel]) if channel < len(by_ch) else []
 
     def writes_for_channel(self, channel: int) -> list[MemoryRequest]:
         """Pending writes whose line maps to ``channel`` (age order)."""
-        return [w for w in self.writes if w.coord.channel == channel]
+        by_ch = self.writes_by_ch
+        return list(by_ch[channel]) if channel < len(by_ch) else []
 
     def any_for_bank(self, channel: int, bank: int, row: int) -> bool:
         """Is any queued request (read or write) targeting this open row?
@@ -115,14 +139,14 @@ class RequestQueues:
         This is the controller-managed page-policy query: keep the row open
         iff a queued hit exists.
         """
-        for r in self.reads:
-            c = r.coord
-            if c.channel == channel and c.bank == bank and c.row == row:
-                return True
-        for w in self.writes:
-            c = w.coord
-            if c.channel == channel and c.bank == bank and c.row == row:
-                return True
+        if channel < len(self.reads_by_ch):
+            for r in self.reads_by_ch[channel]:
+                if r.bank == bank and r.row == row:
+                    return True
+        if channel < len(self.writes_by_ch):
+            for w in self.writes_by_ch[channel]:
+                if w.bank == bank and w.row == row:
+                    return True
         return False
 
     def cores_with_reads(self) -> Iterable[int]:

@@ -24,7 +24,11 @@ class MemoryRequest:
         Line-aligned physical byte address.
     coord:
         Decoded DRAM coordinate (channel/bank/row/col), filled by the
-        controller at enqueue time.
+        controller at enqueue time.  Assigning it also mirrors ``bank``
+        and ``row`` into plain slots: the scheduler's candidate scans
+        touch those two fields for every queued request at every
+        scheduling point, and the direct slot read saves the ``coord``
+        indirection on that path.
     core_id:
         Originating core — the identity every core-aware policy keys on.
     is_write:
@@ -45,7 +49,9 @@ class MemoryRequest:
 
     __slots__ = (
         "addr",
-        "coord",
+        "_coord",
+        "bank",
+        "row",
         "core_id",
         "is_write",
         "is_prefetch",
@@ -73,7 +79,9 @@ class MemoryRequest:
         self.is_prefetch = is_prefetch
         self.arrival_cycle = arrival_cycle
         self.on_complete = on_complete
-        self.coord: DramCoord | None = None
+        self._coord: DramCoord | None = None
+        self.bank: int = -1
+        self.row: int = -1
         self.seq: int = -1
         #: filled by the controller when the transaction is committed
         self.issue_cycle: int = -1
@@ -82,6 +90,17 @@ class MemoryRequest:
         #: lifecycle span when this request was sampled for tracing
         #: (:mod:`repro.telemetry.spans`), else None
         self.span = None
+
+    @property
+    def coord(self) -> DramCoord | None:
+        return self._coord
+
+    @coord.setter
+    def coord(self, c: DramCoord | None) -> None:
+        self._coord = c
+        if c is not None:
+            self.bank = c.bank
+            self.row = c.row
 
     @property
     def latency(self) -> int:

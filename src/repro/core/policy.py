@@ -27,6 +27,7 @@ Precedence, following the paper exactly:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from operator import attrgetter
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.controller.request import MemoryRequest
@@ -42,7 +43,7 @@ __all__ = ["SchedulingContext", "SchedulingPolicy", "hit_first_oldest", "oldest"
 class SchedulingContext:
     """Controller state visible to a policy at a scheduling point."""
 
-    __slots__ = ("now", "channel", "queues", "dram", "rng")
+    __slots__ = ("now", "channel", "queues", "dram", "rng", "hits_prefiltered")
 
     def __init__(
         self,
@@ -51,12 +52,20 @@ class SchedulingContext:
         queues: "RequestQueues",
         dram: "DramSystem",
         rng: RngStream,
+        hits_prefiltered: bool = False,
     ) -> None:
         self.now = now
         self.channel = channel
         self.queues = queues
         self.dram = dram
         self.rng = rng
+        #: the controller already applied the global hit-first rule to the
+        #: candidate list: either every candidate is a row hit or none is,
+        #: and that also holds for any per-core subset — so
+        #: :func:`hit_first_oldest` provably reduces to :func:`oldest` and
+        #: skips its per-candidate row-hit probes (a hot-path win; the
+        #: selection outcome is unchanged)
+        self.hits_prefiltered = hits_prefiltered
 
     def is_row_hit(self, req: MemoryRequest) -> bool:
         """Whether ``req`` targets the currently open row of its bank."""
@@ -67,15 +76,27 @@ class SchedulingContext:
         return self.queues.pending_reads[core_id]
 
 
+_by_seq = attrgetter("seq")
+
+
 def oldest(candidates: Sequence[MemoryRequest]) -> MemoryRequest:
     """The request with the smallest controller sequence number."""
-    return min(candidates, key=lambda r: r.seq)
+    return min(candidates, key=_by_seq)
 
 
 def hit_first_oldest(
     candidates: Sequence[MemoryRequest], ctx: SchedulingContext
 ) -> MemoryRequest:
-    """Row-buffer hits first, then oldest — the hit-first command rule."""
+    """Row-buffer hits first, then oldest — the hit-first command rule.
+
+    When the controller pre-applied the global hit-first filter
+    (``ctx.hits_prefiltered``) the hit/miss split is degenerate on any
+    subset of its candidate list, so the re-filter is skipped outright.
+    """
+    if len(candidates) == 1:
+        return candidates[0]
+    if ctx.hits_prefiltered:
+        return min(candidates, key=_by_seq)
     hits = [r for r in candidates if ctx.is_row_hit(r)]
     return oldest(hits) if hits else oldest(candidates)
 
@@ -138,6 +159,9 @@ class SchedulingPolicy(ABC):
         with the highest priority, and then the first read request of the
         selected thread is scheduled'.
         """
+        if len(candidates) == 1:
+            # One candidate: one core, no tie-break draw, one request.
+            return candidates[0]
         by_core: dict[int, list[MemoryRequest]] = {}
         for r in candidates:
             by_core.setdefault(r.core_id, []).append(r)

@@ -113,6 +113,9 @@ class TraceCore:
         self.core_id = core_id
         self.config = config
         self.trace = trace
+        #: bound trace feed — _fetch_mem_op pulls one op per memory
+        #: instruction and skips the method lookup chain
+        self._next_op = trace.next_op
         self.hierarchy = hierarchy
         self.engine = engine
         self.target_insts = target_insts
@@ -122,6 +125,35 @@ class TraceCore:
 
         q = config.issue_width
         self._Q = q
+        # Hot-loop constants resolved once: the fetch/commit loops run per
+        # instruction batch and must not walk config objects.
+        self._rob_size = config.rob_size
+        self._l1_hit_latency = hierarchy.config.caches.l1d.hit_latency
+        # This core's L1 internals, bound once for the inlined hit path in
+        # _fetch_mem_op.  The set list and geometry are stable for the
+        # cache's lifetime (clear() empties the sets in place); the stats
+        # object is re-read per access because clear() replaces it.
+        l1 = hierarchy.l1d[core_id]
+        self._l1 = l1
+        self._l1_sets = l1._sets
+        self._l1_off_bits = l1._off_bits
+        self._l1_set_mask = l1._set_mask
+        self._demand_accesses = hierarchy.demand_accesses
+        # Stable memory-path internals, bound once for the blocked-retry
+        # probe in _on_unblock (same lifetime argument as the L1 bindings
+        # above; the L2 set list is cleared in place, never replaced, and
+        # the MSHR/queue objects live as long as the system).
+        l2 = hierarchy.l2
+        self._line_mask = hierarchy._line_mask
+        self._l2_sets = l2._sets
+        self._l2_off_bits = l2._off_bits
+        self._l2_set_mask = l2._set_mask
+        mshr = hierarchy.mshrs[core_id]
+        self._mshr_entries = mshr._entries
+        self._mshr_cap = mshr.capacity
+        #: the controller's shared buffer, or None for split-controller
+        #: groups (per-channel queues; the probe calls can_accept instead)
+        self._ctrl_queues = getattr(hierarchy.controller, "queues", None)
         # Slot-unit cursors: fetch_q/commit_q point at the next free slot.
         self.fetch_q = 0
         self.commit_q = 0
@@ -151,6 +183,15 @@ class TraceCore:
         #: MultiCoreSystem when the telemetry hub captures spans)
         self.spans = None
         self._pull_next_op()
+        # Replay fast path: when the trace is a recording (see
+        # ReplayTrace.replay_state), the fetch loop indexes the op list
+        # directly and only falls back to next_op() at the frontier.
+        state = getattr(trace, "replay_state", None)
+        if state is not None:
+            self._replay_ops, self._trace_pos = state()
+        else:
+            self._replay_ops = None
+            self._trace_pos = 0
 
     # -- public control --------------------------------------------------------
 
@@ -184,13 +225,22 @@ class TraceCore:
     # -- trace feed --------------------------------------------------------------
 
     def _pull_next_op(self) -> None:
-        op = self.trace.next_op()
+        op = self._next_op()
         if op is None:
             self._trace_done = True
             self._cur_op = None
         else:
             self._cur_op = op
             self._cur_op_inst = self.fetched + op.gap
+
+    def _pull_fallback(self) -> MemOp | None:
+        """Pull one op through the trace object (non-replay sources, and
+        the generation frontier of a recording).  Keeps the replay cursor
+        in ``self._trace_pos`` coherent with the trace's own."""
+        if self._replay_ops is None:
+            return self._next_op()
+        op, self._trace_pos = self.trace.pull(self._trace_pos)
+        return op
 
     # -- engine callbacks ----------------------------------------------------------
 
@@ -201,10 +251,50 @@ class TraceCore:
     def _on_unblock(self, now: int) -> None:
         if self._stopped or not self._blocked:
             return  # stale wake (another resource freed us already)
-        self._blocked = False
         # The front end lost the stalled cycles; resume from the wake point.
         if self.fetch_q < now * self._Q:
             self.fetch_q = now * self._Q
+        # Fast re-block test.  Resource-freed wakes fan out to every
+        # blocked core, so most retries find the freed slot already taken
+        # and block again immediately.  Probe the exact BLOCKED conditions
+        # of CacheHierarchy.access_after_l1_miss (membership tests only —
+        # a miss path mutates nothing); when the op would just block
+        # again, charge the stats the failed attempt would have charged
+        # and re-register, skipping the full run-loop scaffolding.  Safe
+        # because commit state is already maximal at every event boundary
+        # (commit has no time cap) and _fetch_was_full is never set while
+        # blocked, so the skipped passes are provably no-ops.
+        op = self._cur_op
+        if op is not None:
+            addr = op.addr
+            tag = addr >> self._l1_off_bits
+            if tag not in self._l1_sets[tag & self._l1_set_mask]:
+                line = addr & self._line_mask
+                t2 = line >> self._l2_off_bits
+                if t2 not in self._l2_sets[t2 & self._l2_set_mask]:
+                    h = self.hierarchy
+                    entries = self._mshr_entries
+                    cq = self._ctrl_queues
+                    if line not in entries and (
+                        len(entries) >= self._mshr_cap
+                        or h._l2_outstanding >= h.l2_mshr_cap
+                        or (
+                            cq.occupancy >= cq.capacity
+                            if cq is not None
+                            else not h.controller.can_accept()
+                        )
+                    ):
+                        self._demand_accesses[self.core_id] += 1
+                        self._l1.stats.misses += 1
+                        h.l2.stats.misses += 1
+                        self.stats.structural_stalls += 1
+                        if self.spans is not None:
+                            self.spans.note_blocked(
+                                self.core_id, self.fetch_q // self._Q, line
+                            )
+                        h.wait_unblock(self._on_unblock)
+                        return  # still blocked
+        self._blocked = False
         self._run(now)
 
     def _on_load_ready(self, entry: list[int], now: int) -> None:
@@ -218,8 +308,9 @@ class TraceCore:
         """Advance fetch and commit as far as currently deterministic,
         bounded by ``now + lookahead`` for fetch."""
         limit_q = (now + self.lookahead) * self._Q
+        advance_commit = self._advance_commit
         while True:
-            self._advance_commit()
+            advance_commit()
             if self._blocked or self._stopped:
                 return
             # If fetch had filled the window, it resumed only because
@@ -228,14 +319,14 @@ class TraceCore:
             # fetch 'in the past' after long memory stalls).
             if (
                 self._fetch_was_full
-                and self.fetched - self.committed < self.config.rob_size
+                and self.fetched - self.committed < self._rob_size
             ):
                 self._fetch_was_full = False
                 if self.fetch_q < self.commit_q:
                     self.fetch_q = self.commit_q
-            progressed = self._advance_fetch(limit_q)
-            self._advance_commit()
-            if not progressed:
+            if not self._advance_fetch(limit_q):
+                # No new instructions entered the window since the commit
+                # pass above, so a trailing commit pass would be a no-op.
                 break
         self._arm_wake(now, limit_q)
 
@@ -246,30 +337,67 @@ class TraceCore:
         commit timing is deterministic once ready times are known)."""
         Q = self._Q
         rob = self._rob
+        committed = self.committed
+        commit_q = self.commit_q
+        fetched = self.fetched
+        # _check_finish only matters until the measurement budget commits;
+        # afterwards (the reload phase that keeps contention alive) the
+        # crossing checks are dead weight.  While it does matter, it is a
+        # no-op below the next threshold (warmup, then warmup+target), so
+        # gate the call on crossing that threshold — down from one call
+        # per retire batch to one per actual crossing.
+        check = self.finish_cycle is None
+        if check:
+            total = self.warmup_insts + self.target_insts
+            threshold = self.warmup_insts if self.warmup_cycle is None else total
         while True:
             barrier = rob[0] if rob else None
-            boundary = barrier[0] if barrier is not None else self.fetched
-            free = boundary - self.committed
+            boundary = barrier[0] if barrier is not None else fetched
+            free = boundary - committed
             if free > 0:
                 # Plain instructions retire at Q per cycle.
-                self.committed += free
-                self.commit_q += free
-                self._check_finish()
+                committed += free
+                commit_q += free
+                if check and committed >= threshold:
+                    self.committed = committed
+                    self.commit_q = commit_q
+                    self._check_finish()
+                    check = self.finish_cycle is None
+                    if check:
+                        threshold = (
+                            self.warmup_insts
+                            if self.warmup_cycle is None
+                            else total
+                        )
+                    fetched = self.fetched
                 continue
-            if barrier is None or barrier[0] >= self.fetched:
-                return  # nothing more fetched
+            if barrier is None or barrier[0] >= fetched:
+                break  # nothing more fetched
             ready = barrier[1]
             if ready >= _NOT_READY:
-                return  # head load still waiting on memory
+                break  # head load still waiting on memory
             # The load itself retires, no earlier than its data-ready cycle.
             min_q = ready * Q
-            if self.commit_q < min_q:
-                self.stall_q += min_q - self.commit_q
-                self.commit_q = min_q
-            self.commit_q += 1
-            self.committed += 1
+            if commit_q < min_q:
+                self.stall_q += min_q - commit_q
+                commit_q = min_q
+            commit_q += 1
+            committed += 1
             rob.popleft()
-            self._check_finish()
+            if check and committed >= threshold:
+                self.committed = committed
+                self.commit_q = commit_q
+                self._check_finish()
+                check = self.finish_cycle is None
+                if check:
+                    threshold = (
+                        self.warmup_insts
+                        if self.warmup_cycle is None
+                        else total
+                    )
+                fetched = self.fetched
+        self.committed = committed
+        self.commit_q = commit_q
 
     def _crossing_cycle(self, threshold: int) -> int:
         """Cycle the ``threshold``-th instruction committed (within the
@@ -291,98 +419,174 @@ class TraceCore:
     # .. fetch ..
 
     def _advance_fetch(self, limit_q: int) -> bool:
-        """Fetch up to ``limit_q``; returns whether any progress was made."""
+        """Fetch up to ``limit_q``; returns whether any progress was made.
+
+        One fused loop covering gap batches *and* memory ops, with the hot
+        cursors held in locals and written back once on exit.  That is safe
+        because nothing re-enters this core synchronously mid-call: commit
+        never runs inside fetch (``committed`` is constant here), the
+        hierarchy reads no core state, and data/unblock waiters only fire
+        later via engine events.  The L1 probe is the inlined body of
+        SetAssocCache.lookup (keep in sync with cache.py), charged to the
+        hierarchy's counters exactly as CacheHierarchy.access would; misses
+        continue in access_after_l1_miss, and only they need a data waiter,
+        so the per-load closure is built on that path alone.
+        """
         Q = self._Q
+        rob_size = self._rob_size
+        rob = self._rob
+        stats = self.stats
+        l1 = self._l1
+        l1_sets = self._l1_sets
+        l1_off_bits = self._l1_off_bits
+        l1_set_mask = self._l1_set_mask
+        l1_hit_latency = self._l1_hit_latency
+        demand = self._demand_accesses
+        core_id = self.core_id
+        r_ops = self._replay_ops
+        r_pos = self._trace_pos
+        # Recording length, hoisted: another consumer may extend the
+        # recording, but only through next_op()/pull() — so the cached
+        # length can only be stale-short, and the fallback path (which
+        # serves from the recording too) refreshes it.  Op values are
+        # identical either way.
+        n_ops = len(r_ops) if r_ops is not None else 0
+        committed = self.committed
+        fetched = self.fetched
+        fetch_q = self.fetch_q
+        op = self._cur_op
+        cur_inst = self._cur_op_inst
         progressed = False
-        while self.fetch_q < limit_q:
-            space = self.config.rob_size - (self.fetched - self.committed)
+        while fetch_q < limit_q:
+            space = rob_size - (fetched - committed)
             if space <= 0:
                 self._fetch_was_full = True
-                return progressed  # window full: wait for commit
-            if self._cur_op is None:
+                break  # window full: wait for commit
+            if op is None:
                 if self._trace_done:
                     # Tail: plain instructions so a finite trace can still
                     # reach its budget (tests); stop at the budget.
-                    remaining = self.warmup_insts + self.target_insts - self.fetched
+                    remaining = self.warmup_insts + self.target_insts - fetched
                     if remaining <= 0:
-                        return progressed
-                    take = min(remaining, space, limit_q - self.fetch_q)
+                        break
+                    take = min(remaining, space, limit_q - fetch_q)
                     if take <= 0:
-                        return progressed
-                    self.fetched += take
-                    self.fetch_q += take
+                        break
+                    fetched += take
+                    fetch_q += take
                     progressed = True
                     continue
-                self._pull_next_op()
+                if r_pos < n_ops:
+                    op = r_ops[r_pos]
+                    r_pos += 1
+                    cur_inst = fetched + op.gap
+                else:
+                    self._trace_pos = r_pos
+                    op = self._pull_fallback()
+                    r_pos = self._trace_pos
+                    if r_ops is not None:
+                        n_ops = len(r_ops)
+                    if op is None:
+                        self._trace_done = True
+                    else:
+                        cur_inst = fetched + op.gap
                 continue
-            plain = self._cur_op_inst - self.fetched
+            plain = cur_inst - fetched
             if plain > 0:
-                take = min(plain, space, limit_q - self.fetch_q)
+                take = min(plain, space, limit_q - fetch_q)
                 if take <= 0:
-                    return progressed
-                self.fetched += take
-                self.fetch_q += take
+                    break
+                fetched += take
+                fetch_q += take
                 progressed = True
                 continue
             # The memory instruction itself is due this slot.
-            if not self._fetch_mem_op():
-                return progressed
-            progressed = True
-        return progressed
-
-    def _fetch_mem_op(self) -> bool:
-        """Issue the pending memory op; returns False on a structural stall."""
-        op = self._cur_op
-        assert op is not None
-        cycle = self.fetch_q // self._Q
-        waiter_entry: list[int] | None = None
-        if not op.is_write:
-            waiter_entry = [self.fetched, _NOT_READY]
-
-        entry = waiter_entry
-
-        def on_data(_line: int, done: int, e=entry) -> None:
-            if e is not None:
-                self._on_load_ready(e, done)
-
-        result = self.hierarchy.access(
-            self.core_id,
-            op.addr,
-            op.is_write,
-            cycle,
-            on_data if entry is not None else self._store_data_cb,
-        )
-        if result == BLOCKED:
-            self.stats.structural_stalls += 1
-            if self.spans is not None:
-                # Stamp the first attempt so the eventual request's span
-                # can attribute the structural-stall wait.
-                self.spans.note_blocked(
-                    self.core_id, cycle, self.hierarchy.line_of(op.addr)
-                )
-            self._blocked = True
-            self.hierarchy.wait_unblock(self._on_unblock)
-            return False
-        if op.is_write:
-            self.stats.stores += 1
-        else:
-            self.stats.loads += 1
-            assert entry is not None
-            if result == PENDING:
-                self.stats.mem_requests += 1
-            elif result == MERGED:
-                pass  # waits on the in-flight line, no new request
-            else:
-                entry[1] = cycle + result
-                if result == self.hierarchy.config.caches.l1d.hit_latency:
-                    self.stats.l1_hits += 1
+            cycle = fetch_q // Q
+            is_write = op.is_write
+            addr = op.addr
+            demand[core_id] += 1
+            tag = addr >> l1_off_bits
+            s = l1_sets[tag & l1_set_mask]
+            if tag in s:
+                # L1 hit — the overwhelmingly common outcome — handled
+                # entirely here; move-to-back refreshes recency.
+                s[tag] = s.pop(tag) or is_write
+                l1.stats.hits += 1
+                if is_write:
+                    stats.stores += 1
                 else:
-                    self.stats.l2_hits += 1
-            self._rob.append(entry)
-        self.fetched += 1
-        self.fetch_q += 1
-        self._pull_next_op()
-        return True
+                    rob.append([fetched, cycle + l1_hit_latency])
+                    stats.l1_hits += 1
+                    stats.loads += 1
+            else:
+                l1.stats.misses += 1
+                if is_write:
+                    entry = None
+                    waiter = self._store_data_cb
+                else:
+                    entry = [fetched, _NOT_READY]
+
+                    def waiter(_line: int, done: int, e=entry) -> None:
+                        self._on_load_ready(e, done)
+
+                result = self.hierarchy.access_after_l1_miss(
+                    core_id, addr, is_write, cycle, waiter
+                )
+                if result >= 0:
+                    # L2 hit.
+                    if is_write:
+                        stats.stores += 1
+                    else:
+                        entry[1] = cycle + result
+                        if result == l1_hit_latency:
+                            stats.l1_hits += 1
+                        else:
+                            stats.l2_hits += 1
+                        stats.loads += 1
+                        rob.append(entry)
+                elif result == BLOCKED:
+                    stats.structural_stalls += 1
+                    if self.spans is not None:
+                        # Stamp the first attempt so the eventual request's
+                        # span can attribute the structural-stall wait.
+                        self.spans.note_blocked(
+                            core_id, cycle, self.hierarchy.line_of(addr)
+                        )
+                    self._blocked = True
+                    self.hierarchy.wait_unblock(self._on_unblock)
+                    break  # op stays pending for the retry
+                elif is_write:
+                    stats.stores += 1
+                else:
+                    # PENDING (new memory request) or MERGED (rides an
+                    # in-flight line): either way the load waits.
+                    stats.loads += 1
+                    if result == PENDING:
+                        stats.mem_requests += 1
+                    rob.append(entry)
+            fetched += 1
+            fetch_q += 1
+            if r_pos < n_ops:
+                op = r_ops[r_pos]
+                r_pos += 1
+                cur_inst = fetched + op.gap
+            else:
+                self._trace_pos = r_pos
+                op = self._pull_fallback()
+                r_pos = self._trace_pos
+                if r_ops is not None:
+                    n_ops = len(r_ops)
+                if op is None:
+                    self._trace_done = True
+                else:
+                    cur_inst = fetched + op.gap
+            progressed = True
+        self.fetched = fetched
+        self.fetch_q = fetch_q
+        self._trace_pos = r_pos
+        self._cur_op = op
+        self._cur_op_inst = cur_inst
+        return progressed
 
     def _store_data_cb(self, _line: int, now: int) -> None:
         """Store-miss data arrived: nothing blocks on it, but re-run in case
@@ -404,7 +608,7 @@ class TraceCore:
         if self._trace_done and self.fetched >= self.warmup_insts + self.target_insts:
             return  # drained
         # Stalled on window-full with a pending head load: response wakes us.
-        space = self.config.rob_size - (self.fetched - self.committed)
+        space = self._rob_size - (self.fetched - self.committed)
         if space <= 0 and self._rob and self._rob[0][1] >= _NOT_READY:
             return
         if self.fetch_q >= limit_q:

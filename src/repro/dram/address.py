@@ -22,6 +22,13 @@ from repro.config import DramTopologyConfig
 
 __all__ = ["DramCoord", "AddressMapper"]
 
+#: decode memos shared across mapper instances, keyed by bit layout.
+#: Sweeps build one system per (mix, policy) cell with an identical
+#: geometry; sharing the line -> coordinate table means only the first
+#: run of a sweep pays for decoding.  Safe because decode is a pure
+#: function of the layout and DramCoord is immutable.
+_SHARED_DECODE: dict[tuple, dict[int, "DramCoord"]] = {}
+
 
 @dataclass(frozen=True, order=True)
 class DramCoord:
@@ -59,6 +66,7 @@ class AddressMapper:
         "channels",
         "banks_per_channel",
         "lines_per_row",
+        "_decode_cache",
     )
 
     def __init__(self, topology: DramTopologyConfig, line_bytes: int = 64) -> None:
@@ -73,6 +81,16 @@ class AddressMapper:
         self._ch_bits = _log2(self.channels)
         self._bank_bits = _log2(self.banks_per_channel)
         self._col_bits = _log2(self.lines_per_row)
+        # Memoised line -> coordinate table.  The bit layout is fixed at
+        # construction, workloads re-reference the same lines heavily
+        # (hot sets, streams, writebacks of resident lines), and
+        # DramCoord is a frozen dataclass whose __init__ dominates the
+        # decode cost — so decoding each distinct line once and sharing
+        # the immutable coordinate is a large hot-path win.  The table is
+        # shared process-wide between mappers with the same layout (see
+        # _SHARED_DECODE), so repeated runs of a sweep start warm.
+        layout = (line_bytes, self.channels, self.banks_per_channel, self.lines_per_row)
+        self._decode_cache = _SHARED_DECODE.setdefault(layout, {})
 
     def decode(self, addr: int) -> DramCoord:
         """Map a byte address to its DRAM coordinate.
@@ -82,13 +100,17 @@ class AddressMapper:
         if addr < 0:
             raise ValueError(f"negative address {addr:#x}")
         line = addr >> self._off_bits
-        channel = line & (self.channels - 1)
-        line >>= self._ch_bits
-        bank = line & (self.banks_per_channel - 1)
-        line >>= self._bank_bits
-        col = line & (self.lines_per_row - 1)
-        row = line >> self._col_bits
-        return DramCoord(channel=channel, bank=bank, row=row, col=col)
+        coord = self._decode_cache.get(line)
+        if coord is None:
+            channel = line & (self.channels - 1)
+            rest = line >> self._ch_bits
+            bank = rest & (self.banks_per_channel - 1)
+            rest >>= self._bank_bits
+            col = rest & (self.lines_per_row - 1)
+            row = rest >> self._col_bits
+            coord = DramCoord(channel=channel, bank=bank, row=row, col=col)
+            self._decode_cache[line] = coord
+        return coord
 
     def encode(self, coord: DramCoord) -> int:
         """Inverse of :meth:`decode` (line-aligned address)."""

@@ -44,11 +44,18 @@ class Bank:
         "activations",
         "row_hits",
         "conflicts",
+        "_t_rp",
+        "_t_wr",
     )
 
     def __init__(self, index: int, timing: DramTimingConfig) -> None:
         self.index = index
         self.timing = timing
+        # Timing constants flattened out of the (non-slotted, frozen)
+        # config dataclass once at construction — commit() runs per
+        # transaction and must not chase config attributes.
+        self._t_rp = timing.t_rp
+        self._t_wr = timing.t_wr
         self.open_row: int | None = None
         self.ready_cycle: int = 0
         self.activations: int = 0
@@ -82,18 +89,17 @@ class Bank:
             Page-policy decision by the controller: ``True`` leaves the row
             latched, ``False`` auto-precharges after the access.
         """
-        t = self.timing
         if was_hit:
             self.row_hits += 1
         else:
             self.activations += 1
-        recovery = t.t_wr if is_write else 0
+        recovery = self._t_wr if is_write else 0
         if keep_open:
             self.open_row = row
             self.ready_cycle = data_end + recovery
         else:
             self.open_row = None
-            self.ready_cycle = data_end + recovery + t.t_rp
+            self.ready_cycle = data_end + recovery + self._t_rp
 
     def precharge(self, now: int) -> None:
         """Explicitly close the bank (open-page ablation uses this)."""

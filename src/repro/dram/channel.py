@@ -26,9 +26,15 @@ from repro.dram.bank import Bank
 __all__ = ["TransactionTiming", "Channel"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TransactionTiming:
-    """Resolved timing of one line transaction on a channel."""
+    """Resolved timing of one line transaction on a channel.
+
+    Constructed once per committed transaction — a plain slotted
+    dataclass (not frozen: frozen init goes through ``object.__setattr__``
+    per field, which showed up in the kernel profile).  Treat instances
+    as immutable all the same.
+    """
 
     #: cycle the column command issues
     cas_cycle: int
@@ -59,6 +65,13 @@ class Channel:
         "writes",
         "data_cycles",
         "_act_times",
+        "_t_rp",
+        "_t_rcd",
+        "_t_cl",
+        "_t_burst",
+        "_t_rrd",
+        "_t_faw",
+        "_act_tracking",
     )
 
     def __init__(self, index: int, num_banks: int, timing: DramTimingConfig) -> None:
@@ -66,6 +79,18 @@ class Channel:
             raise ValueError("channel needs at least one bank")
         self.index = index
         self.timing = timing
+        # DDR2 timing table flattened once at construction: execute() is
+        # the per-transaction hot path and must not chase attributes of
+        # the (non-slotted, frozen) config dataclass.
+        self._t_rp = timing.t_rp
+        self._t_rcd = timing.t_rcd
+        self._t_cl = timing.t_cl
+        self._t_burst = timing.t_burst
+        self._t_rrd = timing.t_rrd
+        self._t_faw = timing.t_faw
+        #: whether activate-rate constraints are enabled at all (decided
+        #: at config time, not re-tested per transaction)
+        self._act_tracking = bool(timing.t_rrd or timing.t_faw)
         self.banks = [Bank(i, timing) for i in range(num_banks)]
         #: next cycle the data bus is free
         self.bus_free_cycle: int = 0
@@ -120,36 +145,40 @@ class Channel:
         serve; this method only resolves *when* it completes, and advances
         the bank and bus state.
         """
-        t = self.timing
         bank = self.banks[bank_idx]
-        start = bank.access_start(now)
+        ready_cycle = bank.ready_cycle
+        start = now if now > ready_cycle else ready_cycle
         ready = start
-        hit = bank.is_open(row)
+        hit = bank.open_row == row
         conflict = False
         if hit:
             cas = start
         else:
             if bank.open_row is not None:
                 # Open-page conflict: precharge before the activate.
-                start = start + t.t_rp
+                start = start + self._t_rp
                 bank.conflicts += 1
                 conflict = True
             act = start
             # Optional activate-rate constraints (tRRD / tFAW).
-            if t.t_rrd and self._act_times:
-                act = max(act, self._act_times[-1] + t.t_rrd)
-            if t.t_faw and len(self._act_times) == 4:
-                act = max(act, self._act_times[0] + t.t_faw)
-            if t.t_rrd or t.t_faw:
-                self._act_times.append(act)
-            cas = act + t.t_rcd
-        data_start = max(cas + t.t_cl, self.bus_free_cycle)
-        data_end = data_start + t.t_burst
+            if self._act_tracking:
+                act_times = self._act_times
+                if self._t_rrd and act_times:
+                    act = max(act, act_times[-1] + self._t_rrd)
+                if self._t_faw and len(act_times) == 4:
+                    act = max(act, act_times[0] + self._t_faw)
+                act_times.append(act)
+            cas = act + self._t_rcd
+        bus_free = self.bus_free_cycle
+        data_start = cas + self._t_cl
+        if data_start < bus_free:
+            data_start = bus_free
+        data_end = data_start + self._t_burst
         self.bus_free_cycle = data_end
         # Pace the scheduler at one transaction per data-burst slot: bursts
         # can then run back-to-back on the bus while ACT/PRE of upcoming
         # transactions overlap in other banks (bank-level parallelism).
-        self.busy_until = now + t.t_burst
+        self.busy_until = now + self._t_burst
         bank.commit(row, data_end, was_hit=hit, is_write=is_write, keep_open=keep_open)
         self.transactions += 1
         if is_write:

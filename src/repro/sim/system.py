@@ -153,6 +153,9 @@ class MultiCoreSystem:
         ]
         self.start_snapshots: list[CoreSnapshot | None] = [None] * config.num_cores
         self.snapshots: list[CoreSnapshot | None] = [None] * config.num_cores
+        #: cores still short of their budget — the engine polls
+        #: ``all_finished`` after every event, so it must be O(1)
+        self._unfinished = config.num_cores
         for core in self.cores:
             core.on_warmup = self._make_snapshot_hook(core.core_id, self.start_snapshots)
             core.on_finish = self._make_snapshot_hook(core.core_id, self.snapshots)
@@ -220,6 +223,8 @@ class MultiCoreSystem:
                 bytes_read=st.bytes_read[core_id],
                 bytes_written=st.bytes_written[core_id],
             )
+            if store is self.snapshots:
+                self._unfinished -= 1
 
         return hook
 
@@ -233,7 +238,7 @@ class MultiCoreSystem:
 
     @property
     def all_finished(self) -> bool:
-        return all(s is not None for s in self.snapshots)
+        return self._unfinished == 0
 
     # -- online-ME window -----------------------------------------------------------
 
