@@ -24,11 +24,14 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 
 from repro import Telemetry, run_multicore, workload_by_name
 from repro.config import SystemConfig
 from repro.experiments import ExperimentContext, run_figure2, run_figure3
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import merge_into, plan_cells, run_cells
 from repro.metrics.memory_efficiency import MeProfiler
 
 
@@ -87,6 +90,48 @@ def _figure_entry(name, fn, make_ctx, budget, repeats=1, **kwargs):
     }
 
 
+def _parallel_entry(name, make_ctx, budget, jobs):
+    """Time the sharded prewarm + merged figure pass (cold, then cached).
+
+    The cached reading exercises the resume path: every cell comes back
+    from the on-disk store, so it measures cache+merge overhead alone.
+    The entry records the cache stats line CI surfaces in the artifact.
+    """
+    timings = {}
+    with tempfile.TemporaryDirectory() as td:
+        for leg in ("cold", "cached"):
+            cache = ResultCache(root=td, mode="rw")
+            ctx = make_ctx()
+            ctx.cache = cache
+            t0 = time.perf_counter()
+            c0 = time.process_time()
+            cells = plan_cells(ctx, figure2=((2,), ("MEM",)))
+            report = run_cells(cells, jobs=jobs, cache=cache)
+            merge_into(ctx, report)
+            rows = run_figure2(ctx, core_counts=(2,), groups=("MEM",))
+            timings[leg] = {
+                "seconds": round(time.perf_counter() - t0, 4),
+                "cpu_seconds": round(time.process_time() - c0, 4),
+                "cache": cache.stats.as_dict(),
+                "cache_line": cache.stats.line(),
+            }
+            cells_done = sum(len(r.outcomes) for r in rows)
+    return {
+        "name": name,
+        "kind": "parallel",
+        "budget": budget,
+        "jobs": jobs,
+        "planned_cells": len(cells),
+        "cells": cells_done,
+        "seconds": timings["cold"]["seconds"],
+        "cpu_seconds": timings["cold"]["cpu_seconds"],
+        "cache": timings["cold"]["cache"],
+        "cache_line": timings["cold"]["cache_line"],
+        "cached_seconds": timings["cached"]["seconds"],
+        "cached_cache_line": timings["cached"]["cache_line"],
+    }
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--budget", type=int, default=6000,
@@ -94,6 +139,8 @@ def main() -> int:
     ap.add_argument("--seed", type=int, default=1)
     ap.add_argument("--repeats", type=int, default=1,
                     help="time each entry N times, keep the best reading")
+    ap.add_argument("--jobs", type=int, default=2,
+                    help="worker processes for the parallel-prewarm entry")
     ap.add_argument("--out", default="BENCH_PR4.json")
     args = ap.parse_args()
 
@@ -132,6 +179,9 @@ def main() -> int:
         "figure3-smoke", run_figure3, make_ctx, args.budget,
         repeats=args.repeats, groups=("MEM",)
     ))
+    entries.append(_parallel_entry(
+        "figure2-parallel-prewarm", make_ctx, args.budget, args.jobs
+    ))
 
     doc = {
         "suite": "bench_suite",
@@ -151,6 +201,10 @@ def main() -> int:
         rate = (f"  {e['requests_per_sec']:>8} req/s"
                 if e.get("requests_per_sec") else "")
         print(f"{e['name']:<{width}}  {e['seconds']:>8.3f} s{rate}")
+        if e.get("cache_line"):
+            print(f"{'':<{width}}  cold   {e['cache_line']}")
+            print(f"{'':<{width}}  cached {e['cached_cache_line']} "
+                  f"({e['cached_seconds']:.3f} s)")
     print(f"wrote {args.out}")
     return 0
 

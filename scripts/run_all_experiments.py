@@ -5,8 +5,18 @@ This is the record-keeping companion of the benchmark harness: it runs
 Table 2 and Figures 2-5 (plus the ablations) at the documented budget and
 prints a markdown report of paper-vs-measured values to stdout.
 
+``--jobs N`` shards the underlying simulation cells across N worker
+processes and merges them back deterministically, so the emitted tables
+are byte-identical to a serial run (pass ``--stable-output`` to also
+suppress the wall-time annotations when diffing).  Results are recorded
+in an on-disk cache (``.repro-cache/`` by default); ``--resume`` reads
+it back so an interrupted run completes only the missing cells, and
+``--no-cache`` disables the disk entirely.
+
 Usage:
     python scripts/run_all_experiments.py [--budget 30000] [--seeds 1 2 3]
+        [--jobs N] [--resume] [--no-cache] [--cache-dir DIR]
+        [--only table2 figure2 ...] [--stable-output]
         [--out EXPERIMENTS-data.md] [--skip-ablations] [--quick]
 """
 
@@ -26,12 +36,20 @@ from repro.experiments import (
     run_figure5,
     run_table2,
 )
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.experiments.figure2 import average_gains
 from repro.experiments.figure3 import spread
-from repro.experiments.harness import mean
+from repro.experiments.parallel import (
+    default_jobs,
+    merge_into,
+    plan_cells,
+    run_cells,
+)
 from repro.experiments.table2 import rank_correlation
+from repro.telemetry.bus import TelemetryBus
 
 POLICIES = ("HF-RF", "ME", "RR", "LREQ", "ME-LREQ")
+SECTIONS = ("table2", "figure2", "figure3", "figure4", "figure5", "ablations")
 
 
 def md_table(headers, rows):
@@ -42,7 +60,12 @@ def md_table(headers, rows):
     return "\n".join(out)
 
 
-def section_table2(ctx, out):
+def _stamp(t0, stable):
+    """Wall-time annotation, or nothing under ``--stable-output``."""
+    return "" if stable else f" ({time.time()-t0:.0f}s)"
+
+
+def section_table2(ctx, out, stable=False):
     t0 = time.time()
     rows = run_table2(ctx)
     out.append("## Table 2 — application class and memory efficiency\n")
@@ -59,10 +82,10 @@ def section_table2(ctx, out):
     )
     rho = rank_correlation(rows)
     out.append(f"\nSpearman rank correlation vs the published ME values: "
-               f"**{rho:.3f}** ({time.time()-t0:.0f}s)\n")
+               f"**{rho:.3f}**{_stamp(t0, stable)}\n")
 
 
-def section_figure2(ctx, out, core_counts, groups):
+def section_figure2(ctx, out, core_counts, groups, stable=False):
     t0 = time.time()
     rows = run_figure2(ctx, core_counts=core_counts, groups=groups)
     out.append("## Figure 2 — SMT speedup of the five policies\n")
@@ -90,11 +113,12 @@ def section_figure2(ctx, out, core_counts, groups):
             + " | ".join(f"{gains[(n, g, p)]:+.1%}" for p in POLICIES[1:])
             + " |"
         )
-    out.append(f"\n({time.time()-t0:.0f}s)\n")
+    if not stable:
+        out.append(f"\n({time.time()-t0:.0f}s)\n")
     return rows
 
 
-def section_figure3(ctx, out):
+def section_figure3(ctx, out, stable=False):
     t0 = time.time()
     rows = run_figure3(ctx, groups=("MEM",))
     out.append("## Figure 3 — simple fixed-priority schemes (4-core MEM)\n")
@@ -111,10 +135,11 @@ def section_figure3(ctx, out):
     for p in pols[1:]:
         best, worst = spread(rows, p)
         out.append(f"\n- {p}: best {best:+.1%}, worst {worst:+.1%} vs HF-RF")
-    out.append(f"\n({time.time()-t0:.0f}s)\n")
+    if not stable:
+        out.append(f"\n({time.time()-t0:.0f}s)\n")
 
 
-def section_figure4(ctx, out):
+def section_figure4(ctx, out, stable=False):
     t0 = time.time()
     res = run_figure4(ctx)
     out.append("## Figure 4 — memory read latency (4-core MEM)\n")
@@ -142,10 +167,11 @@ def section_figure4(ctx, out):
                 ],
             )
         )
-    out.append(f"\n({time.time()-t0:.0f}s)\n")
+    if not stable:
+        out.append(f"\n({time.time()-t0:.0f}s)\n")
 
 
-def section_figure5(ctx, out):
+def section_figure5(ctx, out, stable=False):
     t0 = time.time()
     res = run_figure5(ctx)
     out.append("## Figure 5 — unfairness (4-core MEM)\n")
@@ -165,10 +191,11 @@ def section_figure5(ctx, out):
             f"{-res.reduction_vs('ME-LREQ', base):+.1%} "
             f"(negative = fairer)"
         )
-    out.append(f"\n({time.time()-t0:.0f}s)\n")
+    if not stable:
+        out.append(f"\n({time.time()-t0:.0f}s)\n")
 
 
-def section_ablations(ctx, out):
+def section_ablations(ctx, out, stable=False):
     t0 = time.time()
     out.append("## Ablations (extensions beyond the paper)\n")
     for title, res in (
@@ -183,42 +210,138 @@ def section_ablations(ctx, out):
         out.append(f"\n### {title}\n")
         out.append(md_table(["variant", "value"],
                             [(k, f"{v:.3f}") for k, v in res.items()]))
-    out.append(f"\n({time.time()-t0:.0f}s)\n")
+    if not stable:
+        out.append(f"\n({time.time()-t0:.0f}s)\n")
+
+
+def _make_cache(args):
+    """Resolve the cache flags: None (--no-cache), rw (--resume) or write."""
+    if args.no_cache:
+        return None
+    mode = "rw" if args.resume else "write"
+    return ResultCache(root=args.cache_dir, mode=mode)
+
+
+def _progress_bus():
+    """A telemetry bus that narrates cell completions on stderr."""
+    bus = TelemetryBus(retain=False)
+
+    def show(ev):
+        if ev.name != "experiment.cell":
+            return
+        a = ev.args
+        print(f"  [{a['done']}/{a['total']}] {a['status']:<7} "
+              f"{a['key']} ({a['seconds']}s)", file=sys.stderr)
+
+    bus.subscribe(show)
+    return bus
+
+
+def prewarm(ctx, sections, args) -> None:
+    """Plan + execute every cell in parallel, then merge into ``ctx``."""
+    plan_kwargs = {
+        "table2": "table2" in sections,
+        "figure3": ("MEM",) if "figure3" in sections else None,
+        "figure4": "figure4" in sections,
+        "figure5": "figure5" in sections,
+        "ablations": "ablations" in sections,
+    }
+    if args.quick:
+        plan_kwargs["figure2"] = ((4,), ("MEM",))
+    elif "figure2" in sections:
+        plan_kwargs["figure2"] = ((2, 4, 8), ("MEM", "MIX"))
+    cells = plan_cells(ctx, **plan_kwargs)
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    print(f"prewarm: {len(cells)} cells over {jobs} jobs", file=sys.stderr)
+    report = run_cells(cells, jobs=jobs, cache=ctx.cache,
+                       bus=_progress_bus())
+    print(f"prewarm: {report.summary()}", file=sys.stderr)
+    if report.failures:
+        # One retry already happened per cell; anything still failing is
+        # reported here and recomputed serially below (where a genuine
+        # crash surfaces with a full traceback).
+        print(report.failure_report(), file=sys.stderr)
+    merge_into(ctx, report)
 
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--budget", type=int, default=30_000)
     ap.add_argument("--profile-budget", type=int, default=20_000)
+    ap.add_argument("--warmup", type=int, default=None,
+                    help="warmup instructions per core (default: harness)")
     ap.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
     ap.add_argument("--out", help="write the markdown here as well as stdout")
     ap.add_argument("--skip-ablations", action="store_true")
     ap.add_argument("--quick", action="store_true",
                     help="4-core MEM Figure 2 panel only (smoke run)")
+    ap.add_argument("--only", nargs="+", choices=SECTIONS, metavar="SECTION",
+                    help=f"run a subset of sections: {', '.join(SECTIONS)}")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="shard simulation cells over N worker processes "
+                         "(0 = one per CPU); output stays byte-identical")
+    ap.add_argument("--resume", action="store_true",
+                    help="reuse cached cell results (continue an "
+                         "interrupted or incremental regeneration)")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="do not read or write the on-disk result cache")
+    ap.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                    help="result cache directory (default: %(default)s)")
+    ap.add_argument("--stable-output", action="store_true",
+                    help="omit wall-time annotations (byte-comparable runs)")
     args = ap.parse_args(argv)
 
-    ctx = ExperimentContext(
+    cache = _make_cache(args)
+    ctx_kwargs = dict(
         inst_budget=args.budget,
         seeds=tuple(args.seeds),
         profile_budget=args.profile_budget,
+        cache=cache,
     )
+    if args.warmup is not None:
+        ctx_kwargs["warmup_insts"] = args.warmup
+    ctx = ExperimentContext(**ctx_kwargs)
+
+    if args.quick:
+        sections = ("figure2",)
+    else:
+        sections = tuple(s for s in SECTIONS if args.only is None
+                         or s in args.only)
+        if args.skip_ablations:
+            sections = tuple(s for s in sections if s != "ablations")
+
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    if jobs > 1:
+        prewarm(ctx, sections, args)
+
     out: list[str] = []
     out.append(
         f"_Generated by scripts/run_all_experiments.py — budget "
         f"{args.budget} instructions/core, seeds {args.seeds}._\n"
     )
     t0 = time.time()
+    stable = args.stable_output
     if args.quick:
-        section_figure2(ctx, out, core_counts=(4,), groups=("MEM",))
+        section_figure2(ctx, out, core_counts=(4,), groups=("MEM",),
+                        stable=stable)
     else:
-        section_table2(ctx, out)
-        section_figure2(ctx, out, core_counts=(2, 4, 8), groups=("MEM", "MIX"))
-        section_figure3(ctx, out)
-        section_figure4(ctx, out)
-        section_figure5(ctx, out)
-        if not args.skip_ablations:
-            section_ablations(ctx, out)
-    out.append(f"\n_Total wall time: {time.time()-t0:.0f}s._")
+        if "table2" in sections:
+            section_table2(ctx, out, stable=stable)
+        if "figure2" in sections:
+            section_figure2(ctx, out, core_counts=(2, 4, 8),
+                            groups=("MEM", "MIX"), stable=stable)
+        if "figure3" in sections:
+            section_figure3(ctx, out, stable=stable)
+        if "figure4" in sections:
+            section_figure4(ctx, out, stable=stable)
+        if "figure5" in sections:
+            section_figure5(ctx, out, stable=stable)
+        if "ablations" in sections:
+            section_ablations(ctx, out, stable=stable)
+    if not stable:
+        out.append(f"\n_Total wall time: {time.time()-t0:.0f}s._")
+    if cache is not None:
+        print(cache.stats.line(), file=sys.stderr)
     text = "\n".join(out)
     print(text)
     if args.out:

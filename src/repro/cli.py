@@ -54,6 +54,17 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=1)
 
 
+def _add_parallel(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("parallel execution (docs/PERFORMANCE.md)")
+    g.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="shard simulation cells over N worker processes "
+                        "(0 = one per CPU); output stays bit-identical")
+    g.add_argument("--resume", action="store_true",
+                   help="read/write the on-disk result cache")
+    g.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result cache directory (default: .repro-cache)")
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     prof = MeProfiler(inst_budget=args.budget, seed=args.seed)
     apps = [app_by_name(args.app)] if args.app else list(APPS)
@@ -152,16 +163,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _make_ctx(args: argparse.Namespace) -> ExperimentContext:
-    return ExperimentContext(
+    ctx = ExperimentContext(
         inst_budget=args.budget,
         seeds=tuple(args.seeds),
         profile_budget=max(args.budget // 2, 5_000),
         config=SystemConfig(),
     )
+    if getattr(args, "resume", False):
+        from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
+
+        ctx.cache = ResultCache(root=args.cache_dir or DEFAULT_CACHE_DIR,
+                                mode="rw")
+    return ctx
+
+
+def _prewarm(ctx: ExperimentContext, args: argparse.Namespace,
+             **plan_kwargs) -> None:
+    """Shard the section's cells over ``--jobs`` workers, merge back.
+
+    The figure code below then runs entirely from the memo, emitting
+    bit-identical output (the merge is ordered by cell key, never by
+    completion order)."""
+    from repro.experiments.parallel import (
+        default_jobs,
+        merge_into,
+        plan_cells,
+        run_cells,
+    )
+
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    if jobs <= 1 and ctx.cache is None:
+        return
+    report = run_cells(plan_cells(ctx, **plan_kwargs), jobs=jobs,
+                       cache=ctx.cache)
+    if report.failures:
+        print(report.failure_report(), file=sys.stderr)
+    merge_into(ctx, report)
+    print(report.summary(), file=sys.stderr)
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     ctx = _make_ctx(args)
+    plan_by_number = {
+        2: {"figure2": (tuple(args.cores), tuple(args.groups))},
+        3: {"figure3": tuple(args.groups)},
+        4: {"figure4": True},
+        5: {"figure5": True},
+    }
+    _prewarm(ctx, args, **plan_by_number[args.number])
     if args.number == 2:
         rows = run_figure2(
             ctx, core_counts=tuple(args.cores), groups=tuple(args.groups)
@@ -180,6 +229,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     ctx = _make_ctx(args)
+    _prewarm(ctx, args, table2=True)
     print(format_table2(run_table2(ctx)))
     return 0
 
@@ -244,11 +294,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cores", type=int, nargs="+", default=[4])
     p.add_argument("--groups", nargs="+", default=["MEM"])
     p.add_argument("--seeds", type=int, nargs="+", default=[1])
+    _add_parallel(p)
     p.set_defaults(fn=_cmd_figure)
 
     p = sub.add_parser("table2", help="regenerate Table 2")
     _add_common(p)
     p.add_argument("--seeds", type=int, nargs="+", default=[1])
+    _add_parallel(p)
     p.set_defaults(fn=_cmd_table2)
 
     p = sub.add_parser("workloads", help="list Table 3 mixes")

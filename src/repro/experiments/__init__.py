@@ -24,6 +24,8 @@ from repro.experiments.ablations import (
     ablation_table_bits,
     ablation_write_drain,
 )
+from repro.experiments.cache import CacheStats, ResultCache
+from repro.experiments.cells import Cell, CellKey
 from repro.experiments.extensions_study import (
     format_extension_study,
     run_extension_study,
@@ -33,12 +35,26 @@ from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.harness import ExperimentContext, PolicyOutcome
+from repro.experiments.parallel import (
+    CellFailure,
+    ParallelReport,
+    default_jobs,
+    merge_into,
+    plan_cells,
+    run_cells,
+)
 from repro.experiments.table2 import run_table2
 
 __all__ = [
+    "CacheStats",
+    "Cell",
+    "CellFailure",
+    "CellKey",
     "ExperimentContext",
     "Figure2Row",
+    "ParallelReport",
     "PolicyOutcome",
+    "ResultCache",
     "ablation_lookahead",
     "ablation_online_phases",
     "ablation_page_policy",
@@ -46,7 +62,11 @@ __all__ = [
     "ablation_split_controllers",
     "ablation_table_bits",
     "ablation_write_drain",
+    "default_jobs",
     "format_extension_study",
+    "merge_into",
+    "plan_cells",
+    "run_cells",
     "run_extension_study",
     "run_figure2",
     "run_figure3",

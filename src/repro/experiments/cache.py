@@ -1,0 +1,264 @@
+"""On-disk result cache for simulation cells (``.repro-cache/``).
+
+Each completed :class:`~repro.experiments.cells.Cell` is stored as one
+JSON file named by the cell key's digest.  Three safety properties:
+
+* **Bit-exactness** — floats are serialised via ``float.hex()`` and
+  restored with ``float.fromhex``, so a cache hit returns *exactly* the
+  object the simulation produced (the golden-stats contract extends to
+  cached results).
+* **Code invalidation** — every entry records a fingerprint of the
+  git-tracked simulator sources; entries written by a different revision
+  of the code are silently treated as misses, never trusted.
+* **Corruption detection** — the payload carries its own SHA-256; a
+  truncated or bit-flipped entry fails verification, is counted in
+  ``stats.corrupt`` and recomputed, never returned.
+
+Writes are atomic (``os.replace`` of a temp file) so an interrupted run
+leaves either a complete entry or none — which is what makes
+``--resume`` safe.
+
+Cache *modes* separate the two read policies callers want:
+
+* ``"rw"``    — read existing entries and write new ones (``--resume`` /
+  incremental regeneration);
+* ``"write"`` — record results but never read pre-existing entries (a
+  fresh full regeneration that still leaves a resumable trail);
+* ``"off"``   — inert (handy for threading one optional object through).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.experiments.cells import CellKey
+from repro.metrics.memory_efficiency import MeProfile
+from repro.sim.runner import CoreResult, RunResult
+
+__all__ = ["CacheStats", "ResultCache", "code_fingerprint",
+           "encode_payload", "decode_payload"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_FP_CACHE: dict[str, str] = {}
+
+
+def code_fingerprint() -> str:
+    """Fingerprint of the simulator sources, for cache invalidation.
+
+    Uses ``git ls-files -s -- src`` (mode + blob hash per tracked file)
+    when the package lives in a git checkout; falls back to hashing the
+    installed package sources.  ``REPRO_CODE_FINGERPRINT`` overrides both
+    (tests use it to simulate a code change).
+    """
+    override = os.environ.get("REPRO_CODE_FINGERPRINT")
+    if override:
+        return override
+    hit = _FP_CACHE.get("fp")
+    if hit is not None:
+        return hit
+    import repro
+
+    pkg_dir = Path(repro.__file__).resolve().parent
+    repo_root = pkg_dir.parent.parent  # src/repro -> repo root
+    blob = b""
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(repo_root), "ls-files", "-s", "--", "src"],
+            capture_output=True, timeout=10,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            blob = out.stdout
+    except (OSError, subprocess.SubprocessError):
+        blob = b""
+    if not blob:
+        parts = []
+        for p in sorted(pkg_dir.rglob("*.py")):
+            parts.append(str(p.relative_to(pkg_dir)).encode())
+            parts.append(hashlib.sha256(p.read_bytes()).digest())
+        blob = b"\0".join(parts)
+    fp = hashlib.sha256(blob).hexdigest()[:16]
+    _FP_CACHE["fp"] = fp
+    return fp
+
+
+# -- payload codec (exact) -------------------------------------------------------
+
+
+def _f(x: float) -> str:
+    return float(x).hex()
+
+
+def _uf(s: str) -> float:
+    return float.fromhex(s)
+
+
+def _enc_core(c: CoreResult) -> dict:
+    return {
+        "app": c.app, "code": c.code, "core_id": c.core_id,
+        "ipc": _f(c.ipc), "finish_cycle": c.finish_cycle,
+        "committed": c.committed, "reads": c.reads,
+        "avg_read_latency": _f(c.avg_read_latency),
+        "bytes_total": c.bytes_total, "bw_gbps": _f(c.bw_gbps),
+    }
+
+
+def _dec_core(d: dict) -> CoreResult:
+    return CoreResult(
+        app=d["app"], code=d["code"], core_id=d["core_id"],
+        ipc=_uf(d["ipc"]), finish_cycle=d["finish_cycle"],
+        committed=d["committed"], reads=d["reads"],
+        avg_read_latency=_uf(d["avg_read_latency"]),
+        bytes_total=d["bytes_total"], bw_gbps=_uf(d["bw_gbps"]),
+    )
+
+
+def encode_payload(obj) -> dict:
+    """Serialise a cell result to a JSON-safe dict (floats exact)."""
+    if isinstance(obj, MeProfile):
+        return {"type": "MeProfile", "app": obj.app, "code": obj.code,
+                "ipc": _f(obj.ipc), "bw_gbps": _f(obj.bw_gbps),
+                "me": _f(obj.me),
+                "avg_read_latency": _f(obj.avg_read_latency)}
+    if isinstance(obj, CoreResult):
+        return {"type": "CoreResult", **_enc_core(obj)}
+    if isinstance(obj, RunResult):
+        return {
+            "type": "RunResult",
+            "mix_name": obj.mix_name, "policy_name": obj.policy_name,
+            "per_core": [_enc_core(c) for c in obj.per_core],
+            "end_cycle": obj.end_cycle,
+            "row_hit_rate": _f(obj.row_hit_rate),
+            "drain_entries": obj.drain_entries,
+        }
+    raise TypeError(f"cannot cache payload of type {type(obj).__name__}")
+
+
+def decode_payload(doc: dict):
+    kind = doc.get("type")
+    if kind == "MeProfile":
+        return MeProfile(app=doc["app"], code=doc["code"],
+                         ipc=_uf(doc["ipc"]), bw_gbps=_uf(doc["bw_gbps"]),
+                         me=_uf(doc["me"]),
+                         avg_read_latency=_uf(doc["avg_read_latency"]))
+    if kind == "CoreResult":
+        return _dec_core(doc)
+    if kind == "RunResult":
+        return RunResult(
+            mix_name=doc["mix_name"], policy_name=doc["policy_name"],
+            per_core=tuple(_dec_core(c) for c in doc["per_core"]),
+            end_cycle=doc["end_cycle"],
+            row_hit_rate=_uf(doc["row_hit_rate"]),
+            drain_entries=doc["drain_entries"],
+        )
+    raise ValueError(f"unknown cached payload type {kind!r}")
+
+
+def _payload_sha(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# -- the cache -------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+    stale: int = 0  # entries from a different code fingerprint
+
+    def line(self) -> str:
+        return (f"cache: {self.hits} hits, {self.misses} misses, "
+                f"{self.writes} writes, {self.corrupt} corrupt, "
+                f"{self.stale} stale")
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "corrupt": self.corrupt,
+                "stale": self.stale}
+
+
+class ResultCache:
+    """Content-addressed store of cell results under one directory."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR,
+                 mode: str = "rw", fingerprint: str | None = None) -> None:
+        if mode not in ("rw", "write", "off"):
+            raise ValueError(f"unknown cache mode {mode!r}")
+        self.root = Path(root)
+        self.mode = mode
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.stats = CacheStats()
+
+    def _path(self, key: CellKey) -> Path:
+        return self.root / f"{key.digest()}.json"
+
+    def get(self, key: CellKey):
+        """Return the cached payload for ``key``, or None.
+
+        Only ``"rw"`` mode reads; every miss (absent, stale revision,
+        corrupted) is counted and returns None.
+        """
+        if self.mode != "rw":
+            return None
+        path = self._path(key)
+        try:
+            doc = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        try:
+            if doc.get("fingerprint") != self.fingerprint:
+                self.stats.stale += 1
+                self.stats.misses += 1
+                return None
+            if doc.get("key") != key.canonical():
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                return None
+            payload = doc["payload"]
+            if _payload_sha(payload) != doc.get("sha"):
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                return None
+            result = decode_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: CellKey, result) -> None:
+        """Store one result atomically (no-op in ``"off"`` mode)."""
+        if self.mode == "off":
+            return
+        payload = encode_payload(result)
+        doc = {
+            "v": 1,
+            "fingerprint": self.fingerprint,
+            "key": key.canonical(),
+            "key_str": key.key_str(),
+            "sha": _payload_sha(payload),
+            "payload": payload,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(doc, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        self.stats.writes += 1

@@ -1,0 +1,301 @@
+"""Simulation cells: the unit of work the parallel runner schedules.
+
+Every number in the paper reproduction is a deterministic function of a
+small tuple of inputs — the workload, the policy (plus its constructor
+arguments), the seed, the instruction budgets, the warmup, the core
+lookahead and the machine configuration.  A :class:`Cell` captures that
+tuple explicitly so one simulation can be
+
+* executed standalone in a worker process (:func:`execute_cell`),
+* cached on disk under a stable key (:class:`CellKey`), and
+* merged back into an :class:`~repro.experiments.harness.ExperimentContext`
+  bit-identically to the serial code path.
+
+Cell kinds mirror the three run shapes the experiment harnesses use:
+
+``profile``
+    one application alone, ``"profile"`` trace phase, at the profiling
+    budget — produces the :class:`~repro.metrics.memory_efficiency.MeProfile`
+    feeding ME / ME-LREQ and Table 2;
+``single``
+    one application alone, ``"eval"`` trace phase — the SMT-speedup
+    denominator (:meth:`MeProfiler.single_core_ipc`);
+``eval``
+    one Table 3 mix under one registered policy — the body of
+    :meth:`ExperimentContext.run`;
+``custom``
+    an ablation run: a policy with constructor arguments and/or a
+    non-default configuration or lookahead — the body of
+    :meth:`ExperimentContext.run_custom`.
+
+Fault injection (tests only): set ``REPRO_PARALLEL_FAULT`` to a substring
+of a cell key and the executor raises before simulating on the first
+attempt; add ``REPRO_PARALLEL_FAULT_ALWAYS=1`` to fail retries too, or
+``REPRO_PARALLEL_FAULT_KIND=exit`` to hard-kill the worker process
+instead of raising (exercises the broken-pool fallback).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+
+__all__ = [
+    "ME_FAMILY",
+    "CellKey",
+    "Cell",
+    "CellFault",
+    "eval_cell_key",
+    "profile_cell_key",
+    "single_cell_key",
+    "custom_cell_key",
+    "policy_from_spec",
+    "execute_cell",
+]
+
+#: policies whose construction consumes the profiled ME vector — their
+#: results (and cache keys) therefore depend on the profiling budget.
+ME_FAMILY = ("ME", "ME-LREQ")
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """Canonical identity of one simulation cell.
+
+    Every field that can change the simulated statistics is part of the
+    key; nothing else is.  ``profile_budget`` is 0 for cells whose result
+    does not depend on profiling (non-ME policies, profile/single cells
+    carry their budget in ``inst_budget``), so changing the profiling
+    budget invalidates exactly the ME-dependent entries.
+    """
+
+    kind: str  # "profile" | "single" | "eval" | "custom"
+    workload: str  # mix name, or the app code for profile/single cells
+    policy: str  # canonical policy name ("" for profile/single cells)
+    seed: int
+    inst_budget: int
+    warmup: int
+    config_digest: str
+    phase: str = "eval"  # trace phase for profile/single cells
+    lookahead: int = 0  # 0 = not applicable (single-core cells)
+    profile_budget: int = 0  # 0 = result independent of profiling
+    policy_args: tuple = ()  # sorted (name, value) constructor args
+
+    def canonical(self) -> dict:
+        """JSON-stable dict of every identity field."""
+        return {
+            "kind": self.kind,
+            "workload": self.workload,
+            "policy": self.policy,
+            "seed": self.seed,
+            "inst_budget": self.inst_budget,
+            "warmup": self.warmup,
+            "config_digest": self.config_digest,
+            "phase": self.phase,
+            "lookahead": self.lookahead,
+            "profile_budget": self.profile_budget,
+            "policy_args": [list(kv) for kv in self.policy_args],
+        }
+
+    def key_str(self) -> str:
+        """Human-readable stable identity (sort key, fault matching)."""
+        args = ",".join(f"{k}={v}" for k, v in self.policy_args)
+        pol = self.policy + (f"[{args}]" if args else "")
+        return (
+            f"{self.kind}:{self.workload}:{pol}:seed={self.seed}"
+            f":b={self.inst_budget}:w={self.warmup}:la={self.lookahead}"
+            f":pb={self.profile_budget}:ph={self.phase}"
+            f":cfg={self.config_digest}"
+        )
+
+    def digest(self) -> str:
+        """Stable hash naming this cell's on-disk cache entry."""
+        blob = json.dumps(self.canonical(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
+def profile_cell_key(code: str, seed: int, profile_budget: int,
+                     config: SystemConfig) -> CellKey:
+    """ME-profiling run of one application (``"profile"`` phase).
+
+    Mirrors :meth:`MeProfiler.profile`: single-core config, default
+    warmup (the profiler never overrides it).
+    """
+    from repro.sim.runner import DEFAULT_WARMUP
+
+    return CellKey(
+        kind="profile", workload=code, policy="", seed=seed,
+        inst_budget=profile_budget, warmup=DEFAULT_WARMUP,
+        config_digest=config.with_cores(1).digest(), phase="profile",
+    )
+
+
+def single_cell_key(code: str, seed: int, profile_budget: int,
+                    config: SystemConfig) -> CellKey:
+    """Single-core evaluation run (the SMT-speedup denominator).
+
+    Mirrors :meth:`MeProfiler.single_core_ipc`: runs at the *profiler's*
+    budget on the ``"eval"`` phase.
+    """
+    from repro.sim.runner import DEFAULT_WARMUP
+
+    return CellKey(
+        kind="single", workload=code, policy="", seed=seed,
+        inst_budget=profile_budget, warmup=DEFAULT_WARMUP,
+        config_digest=config.with_cores(1).digest(), phase="eval",
+    )
+
+
+def eval_cell_key(mix_name: str, policy: str, seed: int, inst_budget: int,
+                  warmup: int, lookahead: int, config: SystemConfig,
+                  profile_budget: int) -> CellKey:
+    """Multi-core evaluation run (the :meth:`ExperimentContext.run` body)."""
+    policy = policy.upper()
+    return CellKey(
+        kind="eval", workload=mix_name, policy=policy, seed=seed,
+        inst_budget=inst_budget, warmup=warmup,
+        config_digest=config.digest(), lookahead=lookahead,
+        profile_budget=profile_budget if policy in ME_FAMILY else 0,
+    )
+
+
+def custom_cell_key(mix_name: str, policy: str, policy_args: tuple,
+                    seed: int, inst_budget: int, warmup: int,
+                    lookahead: int, config: SystemConfig,
+                    profile_budget: int,
+                    me_config: SystemConfig | None = None) -> CellKey:
+    """Ablation run: policy constructor args and/or config overrides.
+
+    ``me_config`` is the configuration the ME profile was collected
+    under when it differs from the run configuration (the page-policy
+    ablation profiles on the baseline machine but runs on the variant).
+    """
+    policy = policy.upper()
+    needs_me = policy in ME_FAMILY
+    args = tuple(sorted(tuple(kv) for kv in policy_args))
+    if needs_me and me_config is not None:
+        me_digest = me_config.with_cores(1).digest()
+        args = args + (("__me_config__", me_digest),)
+    return CellKey(
+        kind="custom", workload=mix_name, policy=policy, seed=seed,
+        inst_budget=inst_budget, warmup=warmup,
+        config_digest=config.digest(), lookahead=lookahead,
+        profile_budget=profile_budget if needs_me else 0,
+        policy_args=args,
+    )
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One schedulable simulation: identity plus execution payload.
+
+    ``me_values`` is resolved by the scheduler from the profile cells the
+    cell depends on (``me_deps``, one per core in mix order) before
+    dispatch; a cell executed standalone with ``me_values=None`` and a
+    ME-family policy profiles in-process (bit-identical — the profile is
+    itself deterministic).
+    """
+
+    key: CellKey
+    config: SystemConfig
+    me_deps: tuple[CellKey, ...] = ()
+    me_values: tuple[float, ...] | None = None
+    policy_ctor_args: tuple = field(default=())
+
+    def with_me_values(self, values: tuple[float, ...]) -> "Cell":
+        return Cell(key=self.key, config=self.config, me_deps=self.me_deps,
+                    me_values=values, policy_ctor_args=self.policy_ctor_args)
+
+
+class CellFault(RuntimeError):
+    """Raised by the test-only fault-injection hook."""
+
+
+def _maybe_inject_fault(key: CellKey, attempt: int) -> None:
+    pattern = os.environ.get("REPRO_PARALLEL_FAULT")
+    if not pattern or pattern not in key.key_str():
+        return
+    always = bool(os.environ.get("REPRO_PARALLEL_FAULT_ALWAYS"))
+    if attempt > 0 and not always:
+        return
+    if os.environ.get("REPRO_PARALLEL_FAULT_KIND") == "exit" and attempt == 0:
+        # Hard-kill the worker (no exception crosses the pipe) to
+        # exercise the broken-pool fallback.  Retries always raise so an
+        # in-parent retry can never take the parent process down.
+        os._exit(3)
+    raise CellFault(f"injected fault for {key.key_str()} (attempt {attempt})")
+
+
+def policy_from_spec(name: str, args: tuple,
+                     me_values: tuple[float, ...] | None):
+    """Build a policy from its canonical (name, ctor-args) spec."""
+    from repro.core.registry import make_policy
+
+    kwargs = {k: v for k, v in args if not k.startswith("__")}
+    if name.upper() in ME_FAMILY:
+        if me_values is None:
+            raise ValueError(f"policy {name} requires me_values")
+        return make_policy(name, me_values=me_values, **kwargs)
+    return make_policy(name, **kwargs)
+
+
+def execute_cell(cell: Cell, attempt: int = 0):
+    """Run one cell standalone; returns its payload.
+
+    * ``profile`` -> :class:`MeProfile`
+    * ``single``  -> :class:`CoreResult`
+    * ``eval`` / ``custom`` -> :class:`RunResult`
+
+    Pure function of the cell (given a resolved ``me_values``): no
+    telemetry, no shared state — safe to run in any process.
+    """
+    from repro.metrics.memory_efficiency import MeProfiler, memory_efficiency
+    from repro.metrics.memory_efficiency import MeProfile
+    from repro.sim.runner import run_multicore, run_single_core
+    from repro.workloads.mixes import workload_by_name
+    from repro.workloads.spec2000 import app_by_code
+
+    key = cell.key
+    _maybe_inject_fault(key, attempt)
+
+    if key.kind == "profile":
+        app = app_by_code(key.workload)
+        res = run_single_core(
+            app, key.inst_budget, seed=key.seed, phase="profile",
+            config=cell.config,
+        )
+        return MeProfile(
+            app=app.name, code=app.code, ipc=res.ipc, bw_gbps=res.bw_gbps,
+            me=memory_efficiency(res.ipc, res.bw_gbps),
+            avg_read_latency=res.avg_read_latency,
+        )
+
+    if key.kind == "single":
+        app = app_by_code(key.workload)
+        return run_single_core(
+            app, key.inst_budget, seed=key.seed, phase="eval",
+            config=cell.config,
+        )
+
+    if key.kind in ("eval", "custom"):
+        mix = workload_by_name(key.workload)
+        me = cell.me_values
+        if me is None and key.policy in ME_FAMILY:
+            # Standalone fallback: profile in-process, exactly as
+            # MeProfiler would (deterministic, so still bit-identical).
+            profiler = MeProfiler(
+                key.profile_budget, seed=key.seed, config=cell.config
+            )
+            me = profiler.me_values(mix)
+        policy = policy_from_spec(key.policy, cell.policy_ctor_args, me)
+        return run_multicore(
+            mix, policy, inst_budget=key.inst_budget, seed=key.seed,
+            warmup_insts=key.warmup, config=cell.config,
+            lookahead=key.lookahead,
+        )
+
+    raise ValueError(f"unknown cell kind {key.kind!r}")

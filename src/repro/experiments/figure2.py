@@ -17,7 +17,8 @@ from dataclasses import dataclass
 from repro.experiments.harness import ExperimentContext, PolicyOutcome, mean
 from repro.workloads.mixes import mixes_for
 
-__all__ = ["POLICIES", "Figure2Row", "run_figure2", "format_figure2"]
+__all__ = ["POLICIES", "Figure2Row", "run_figure2", "figure2_cells",
+           "format_figure2"]
 
 #: the five schemes of Figure 2, in the paper's legend order
 POLICIES: tuple[str, ...] = ("HF-RF", "ME", "RR", "LREQ", "ME-LREQ")
@@ -61,6 +62,22 @@ def run_figure2(
                     )
                 )
     return rows
+
+
+def figure2_cells(
+    core_counts: tuple[int, ...] = (2, 4, 8),
+    groups: tuple[str, ...] = ("MEM", "MIX"),
+    policies: tuple[str, ...] = POLICIES,
+) -> list[tuple[str, str]]:
+    """(workload, policy) pairs behind :func:`run_figure2`, in run order
+    (the parallel planner crosses them with the context's seeds)."""
+    return [
+        (mix.name, p)
+        for n in core_counts
+        for group in groups
+        for mix in mixes_for(n, group)
+        for p in policies
+    ]
 
 
 def average_gains(

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from repro.experiments.harness import ExperimentContext, PolicyOutcome
 from repro.workloads.mixes import mixes_for
 
-__all__ = ["FIG3_POLICIES", "Figure3Row", "run_figure3", "format_figure3"]
+__all__ = ["FIG3_POLICIES", "Figure3Row", "run_figure3", "figure3_cells",
+           "format_figure3"]
 
 FIG3_POLICIES: tuple[str, ...] = ("HF-RF", "ME", "FIX-3210", "FIX-0123")
 
@@ -43,6 +44,18 @@ def run_figure3(
             outcomes = {p: ctx.outcome(mix, p) for p in FIG3_POLICIES}
             rows.append(Figure3Row(workload=mix.name, outcomes=outcomes))
     return rows
+
+
+def figure3_cells(
+    groups: tuple[str, ...] = ("MEM", "MIX"),
+) -> list[tuple[str, str]]:
+    """(workload, policy) pairs behind :func:`run_figure3`."""
+    return [
+        (mix.name, p)
+        for group in groups
+        for mix in mixes_for(4, group)
+        for p in FIG3_POLICIES
+    ]
 
 
 def spread(rows: list[Figure3Row], policy: str) -> tuple[float, float]:

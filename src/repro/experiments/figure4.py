@@ -16,7 +16,7 @@ from repro.experiments.figure2 import POLICIES
 from repro.experiments.harness import ExperimentContext, PolicyOutcome, mean
 from repro.workloads.mixes import mixes_for
 
-__all__ = ["Figure4Result", "run_figure4", "format_figure4"]
+__all__ = ["Figure4Result", "run_figure4", "figure4_cells", "format_figure4"]
 
 #: the two workloads of the figure's right part
 PER_CORE_WORKLOADS: tuple[str, ...] = ("4MEM-1", "4MEM-5")
@@ -57,6 +57,14 @@ def run_figure4(
             p: left[name][p].per_core_latency for p in policies
         }
     return Figure4Result(left=left, right=right)
+
+
+def figure4_cells(
+    policies: tuple[str, ...] = POLICIES,
+) -> list[tuple[str, str]]:
+    """(workload, policy) pairs behind :func:`run_figure4` (the right
+    part reuses the left part's runs, so this is the full set)."""
+    return [(mix.name, p) for mix in mixes_for(4, "MEM") for p in policies]
 
 
 def format_figure4(res: Figure4Result) -> str:

@@ -16,7 +16,7 @@ from repro.experiments.figure2 import POLICIES
 from repro.experiments.harness import ExperimentContext, PolicyOutcome, mean
 from repro.workloads.mixes import mixes_for
 
-__all__ = ["Figure5Result", "run_figure5", "format_figure5"]
+__all__ = ["Figure5Result", "run_figure5", "figure5_cells", "format_figure5"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +43,13 @@ def run_figure5(
         for mix in mixes_for(4, "MEM")
     }
     return Figure5Result(cells=cells)
+
+
+def figure5_cells(
+    policies: tuple[str, ...] = POLICIES,
+) -> list[tuple[str, str]]:
+    """(workload, policy) pairs behind :func:`run_figure5`."""
+    return [(mix.name, p) for mix in mixes_for(4, "MEM") for p in policies]
 
 
 def format_figure5(res: Figure5Result) -> str:

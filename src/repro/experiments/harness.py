@@ -6,20 +6,41 @@ one :class:`~repro.metrics.memory_efficiency.MeProfiler` per seed, and a
 memo of evaluation runs keyed by ``(workload, policy, seed)`` so that
 experiments which share cells (e.g. Figure 2's speedups and Figure 4's
 latencies over the same runs) never simulate twice.
+
+The in-memory memo is a **read-through layer** over an optional on-disk
+:class:`~repro.experiments.cache.ResultCache`: attach one and every
+evaluation / profiling / single-core run first consults the cache (keys
+include every run determinant — seed, budgets, warmup, lookahead, config
+digest, policy constructor arguments — see
+:mod:`repro.experiments.cells`), falling back to simulation and writing
+the result back.  The parallel runner
+(:mod:`repro.experiments.parallel`) pre-warms both layers so the serial
+harness code emits bit-identical tables at full speed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.config import SystemConfig
 from repro.core.policy import SchedulingPolicy
 from repro.core.registry import make_policy
+from repro.experiments.cells import (
+    CellKey,
+    custom_cell_key,
+    eval_cell_key,
+    policy_from_spec,
+    profile_cell_key,
+    single_cell_key,
+)
 from repro.metrics.memory_efficiency import MeProfiler
 from repro.metrics.speedup import smt_speedup, unfairness
 from repro.sim.runner import DEFAULT_WARMUP, RunResult, run_multicore
 from repro.workloads.mixes import Mix, workload_by_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.cache import ResultCache
 
 __all__ = ["ExperimentContext", "PolicyOutcome", "mean"]
 
@@ -73,12 +94,14 @@ class ExperimentContext:
     profile_budget: int = 15_000
     config: SystemConfig = field(default_factory=SystemConfig)
     lookahead: int = 256
+    cache: "ResultCache | None" = None
 
     def __post_init__(self) -> None:
         if not self.seeds:
             raise ValueError("need at least one seed")
         self._profilers: dict[int, MeProfiler] = {}
         self._runs: dict[tuple[str, str, int], RunResult] = {}
+        self._custom_runs: dict[CellKey, RunResult] = {}
 
     # -- profiling --------------------------------------------------------------
 
@@ -90,10 +113,36 @@ class ExperimentContext:
         return prof
 
     def me_values(self, mix: Mix, seed: int) -> tuple[float, ...]:
-        return self.profiler(seed).me_values(mix)
+        prof = self.profiler(seed)
+        if self.cache is not None:
+            for app in mix.apps():
+                if prof.has_profile(app.code):
+                    continue
+                key = profile_cell_key(
+                    app.code, seed, self.profile_budget, self.config
+                )
+                hit = self.cache.get(key)
+                if hit is not None:
+                    prof.preload_profile(hit)
+                else:
+                    self.cache.put(key, prof.profile(app))
+        return prof.me_values(mix)
 
     def single_ipcs(self, mix: Mix, seed: int) -> tuple[float, ...]:
-        return self.profiler(seed).single_ipcs(mix)
+        prof = self.profiler(seed)
+        if self.cache is not None:
+            for app in mix.apps():
+                if prof.has_single(app.code):
+                    continue
+                key = single_cell_key(
+                    app.code, seed, self.profile_budget, self.config
+                )
+                hit = self.cache.get(key)
+                if hit is not None:
+                    prof.preload_single(app.code, hit)
+                else:
+                    self.cache.put(key, prof.single_core_result(app))
+        return prof.single_ipcs(mix)
 
     # -- evaluation runs -----------------------------------------------------------
 
@@ -103,13 +152,26 @@ class ExperimentContext:
             return make_policy(key, me_values=self.me_values(mix, seed))
         return make_policy(key)
 
+    def _eval_key(self, mix_name: str, policy: str, seed: int) -> CellKey:
+        return eval_cell_key(
+            mix_name, policy, seed, self.inst_budget, self.warmup_insts,
+            self.lookahead, self.config, self.profile_budget,
+        )
+
     def run(self, workload: str | Mix, policy: str, seed: int) -> RunResult:
-        """One evaluation run (cached)."""
+        """One evaluation run (memoised; read-through to the disk cache)."""
         mix = workload_by_name(workload) if isinstance(workload, str) else workload
         key = (mix.name, policy.upper(), seed)
         hit = self._runs.get(key)
         if hit is not None:
             return hit
+        cell_key = None
+        if self.cache is not None:
+            cell_key = self._eval_key(mix.name, policy, seed)
+            cached = self.cache.get(cell_key)
+            if cached is not None:
+                self._runs[key] = cached
+                return cached
         result = run_multicore(
             mix,
             self._make_policy(policy, mix, seed),
@@ -119,8 +181,69 @@ class ExperimentContext:
             config=self.config,
             lookahead=self.lookahead,
         )
+        if cell_key is not None:
+            self.cache.put(cell_key, result)
         self._runs[key] = result
         return result
+
+    def run_custom(
+        self,
+        workload: str | Mix,
+        policy: str,
+        seed: int,
+        *,
+        policy_args: tuple = (),
+        config: SystemConfig | None = None,
+        lookahead: int | None = None,
+    ) -> RunResult:
+        """An ablation run: ``policy`` with constructor arguments and/or a
+        non-default config or lookahead (memoised and disk-cached like
+        :meth:`run`; ME-family policies profile on the *context's*
+        baseline machine, matching the paper's offline methodology)."""
+        mix = workload_by_name(workload) if isinstance(workload, str) else workload
+        cfg = config if config is not None else self.config
+        la = lookahead if lookahead is not None else self.lookahead
+        cell_key = custom_cell_key(
+            mix.name, policy, policy_args, seed, self.inst_budget,
+            self.warmup_insts, la, cfg, self.profile_budget,
+            me_config=self.config if cfg is not self.config else None,
+        )
+        hit = self._custom_runs.get(cell_key)
+        if hit is not None:
+            return hit
+        if self.cache is not None:
+            cached = self.cache.get(cell_key)
+            if cached is not None:
+                self._custom_runs[cell_key] = cached
+                return cached
+        name = policy.upper()
+        me = self.me_values(mix, seed) if name in ("ME", "ME-LREQ") else None
+        result = run_multicore(
+            mix,
+            policy_from_spec(name, tuple(policy_args), me),
+            inst_budget=self.inst_budget,
+            seed=seed,
+            warmup_insts=self.warmup_insts,
+            config=cfg,
+            lookahead=la,
+        )
+        if self.cache is not None:
+            self.cache.put(cell_key, result)
+        self._custom_runs[cell_key] = result
+        return result
+
+    # -- memo preloading (parallel runner) ------------------------------------------
+
+    def preload_run(self, mix_name: str, policy: str, seed: int,
+                    result: RunResult) -> None:
+        """Install one evaluation result (must match what :meth:`run`
+        would compute — the parallel runner keys cells on every
+        determinant to guarantee it)."""
+        self._runs.setdefault((mix_name, policy.upper(), seed), result)
+
+    def preload_custom(self, cell_key: CellKey, result: RunResult) -> None:
+        """Install one ablation result under its full cell key."""
+        self._custom_runs.setdefault(cell_key, result)
 
     def outcome(self, workload: str | Mix, policy: str) -> PolicyOutcome:
         """Seed-averaged metrics for one (workload, policy) cell."""

@@ -99,6 +99,26 @@ class MeProfiler:
         """Per-core ME vector for a workload mix (feeds ME / ME-LREQ)."""
         return tuple(self.profile(app).me for app in mix.apps())
 
+    # -- cache preloading (parallel runner / disk cache) ----------------------------
+
+    def has_profile(self, code: str) -> bool:
+        return code in self._cache
+
+    def preload_profile(self, profile: MeProfile) -> None:
+        """Install an externally computed profile (cache hit / worker
+        result); must be bit-identical to what :meth:`profile` would
+        compute — the parallel runner guarantees that by keying on every
+        run determinant."""
+        self._cache.setdefault(profile.code, profile)
+
+    def has_single(self, code: str, phase: str = "eval") -> bool:
+        return f"{code}:{phase}" in self._single_core_results
+
+    def preload_single(self, code: str, result: CoreResult,
+                       phase: str = "eval") -> None:
+        """Install an externally computed single-core evaluation run."""
+        self._single_core_results.setdefault(f"{code}:{phase}", result)
+
     def single_core_ipc(self, app: AppProfile, phase: str = "eval") -> float:
         """Single-core IPC on the *evaluation* slice (SMT-speedup baseline).
 
@@ -117,6 +137,13 @@ class MeProfiler:
             )
             self._single_core_results[key] = res
         return res.ipc
+
+    def single_core_result(self, app: AppProfile,
+                           phase: str = "eval") -> CoreResult:
+        """Full :class:`CoreResult` of the single-core evaluation run
+        (computes and caches it on first use)."""
+        self.single_core_ipc(app, phase)
+        return self._single_core_results[f"{app.code}:{phase}"]
 
     def single_ipcs(self, mix: Mix, phase: str = "eval") -> tuple[float, ...]:
         """Per-core single-core IPC vector for a mix."""
