@@ -16,6 +16,11 @@ and frequency-scaling noise on shared hosts; each entry also records
 ``cpu_seconds`` (``time.process_time``), which is far less sensitive to
 host load than wall clock and is the number to use for comparisons.
 
+Naming convention (docs/PERFORMANCE.md): ad-hoc runs write
+``BENCH_latest.json`` (gitignored, always the most recent local
+reading); a baseline worth keeping is renamed to ``BENCH_PR<n>.json``
+and committed — those files are immutable once landed.
+
 Run:  PYTHONPATH=src python scripts/bench_suite.py \
           [--budget N] [--repeats N] [--out PATH]
 """
@@ -141,7 +146,12 @@ def main() -> int:
                     help="time each entry N times, keep the best reading")
     ap.add_argument("--jobs", type=int, default=2,
                     help="worker processes for the parallel-prewarm entry")
-    ap.add_argument("--out", default="BENCH_PR4.json")
+    ap.add_argument("--out", "--output", dest="out",
+                    default="BENCH_latest.json",
+                    help="result artifact (default: %(default)s — the "
+                         "working-copy convention; committed baselines "
+                         "are renamed BENCH_PR<n>.json, see "
+                         "docs/PERFORMANCE.md)")
     args = ap.parse_args()
 
     mix = workload_by_name("4MEM-1")

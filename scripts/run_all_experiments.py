@@ -13,10 +13,14 @@ in an on-disk cache (``.repro-cache/`` by default); ``--resume`` reads
 it back so an interrupted run completes only the missing cells, and
 ``--no-cache`` disables the disk entirely.
 
+``--coordinator HOST:PORT`` executes the cells on a distributed sweep
+service (``repro serve`` + ``repro worker``) instead of a local pool —
+same bit-identical merge, see docs/DISTRIBUTED.md.
+
 Usage:
     python scripts/run_all_experiments.py [--budget 30000] [--seeds 1 2 3]
-        [--jobs N] [--resume] [--no-cache] [--cache-dir DIR]
-        [--only table2 figure2 ...] [--stable-output]
+        [--jobs N] [--coordinator HOST:PORT] [--resume] [--no-cache]
+        [--cache-dir DIR] [--only table2 figure2 ...] [--stable-output]
         [--out EXPERIMENTS-data.md] [--skip-ablations] [--quick]
 """
 
@@ -251,10 +255,18 @@ def prewarm(ctx, sections, args) -> None:
     elif "figure2" in sections:
         plan_kwargs["figure2"] = ((2, 4, 8), ("MEM", "MIX"))
     cells = plan_cells(ctx, **plan_kwargs)
-    jobs = args.jobs if args.jobs > 0 else default_jobs()
-    print(f"prewarm: {len(cells)} cells over {jobs} jobs", file=sys.stderr)
-    report = run_cells(cells, jobs=jobs, cache=ctx.cache,
-                       bus=_progress_bus())
+    if args.coordinator:
+        from repro.service.client import submit_cells
+
+        print(f"prewarm: {len(cells)} cells via coordinator "
+              f"{args.coordinator}", file=sys.stderr)
+        report = submit_cells(args.coordinator, cells, bus=_progress_bus())
+    else:
+        jobs = args.jobs if args.jobs > 0 else default_jobs()
+        print(f"prewarm: {len(cells)} cells over {jobs} jobs",
+              file=sys.stderr)
+        report = run_cells(cells, jobs=jobs, cache=ctx.cache,
+                           bus=_progress_bus())
     print(f"prewarm: {report.summary()}", file=sys.stderr)
     if report.failures:
         # One retry already happened per cell; anything still failing is
@@ -264,7 +276,7 @@ def prewarm(ctx, sections, args) -> None:
     merge_into(ctx, report)
 
 
-def main(argv=None) -> int:
+def _main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--budget", type=int, default=30_000)
     ap.add_argument("--profile-budget", type=int, default=20_000)
@@ -280,6 +292,10 @@ def main(argv=None) -> int:
     ap.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="shard simulation cells over N worker processes "
                          "(0 = one per CPU); output stays byte-identical")
+    ap.add_argument("--coordinator", default=None, metavar="HOST:PORT",
+                    help="run the cells on a distributed sweep coordinator "
+                         "(repro serve) instead of a local pool; output "
+                         "stays byte-identical (docs/DISTRIBUTED.md)")
     ap.add_argument("--resume", action="store_true",
                     help="reuse cached cell results (continue an "
                          "interrupted or incremental regeneration)")
@@ -311,7 +327,7 @@ def main(argv=None) -> int:
             sections = tuple(s for s in sections if s != "ablations")
 
     jobs = args.jobs if args.jobs > 0 else default_jobs()
-    if jobs > 1:
+    if jobs > 1 or args.coordinator:
         prewarm(ctx, sections, args)
 
     out: list[str] = []
@@ -348,6 +364,15 @@ def main(argv=None) -> int:
         with open(args.out, "w") as f:
             f.write(text + "\n")
     return 0
+
+
+def main(argv=None) -> int:
+    try:
+        return _main(argv)
+    except KeyboardInterrupt:
+        print("\ninterrupted — partial results remain in the cache; "
+              "re-run with --resume to continue", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -9,6 +9,13 @@ Subcommands mirror the paper's workflow:
 * ``table2``    — regenerate Table 2;
 * ``workloads`` — list the Table 3 mixes;
 * ``policies``  — list the registered scheduling policies.
+
+Distributed sweeps (docs/DISTRIBUTED.md):
+
+* ``serve``     — start the sweep coordinator (leases, retries, store);
+* ``worker``    — attach a worker process to a coordinator;
+* ``submit``    — run a figure/table sweep on a coordinator and render
+                  it exactly as the serial command would (byte-identical).
 """
 
 from __future__ import annotations
@@ -234,6 +241,130 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- distributed sweep verbs (docs/DISTRIBUTED.md) ---------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.coordinator import Coordinator
+    from repro.service.store import ResultStore
+    from repro.telemetry.bus import TelemetryBus
+
+    store = (None if args.no_store
+             else ResultStore(root=args.store, mode="rw"))
+    bus = TelemetryBus(retain=False)
+
+    def narrate(ev):
+        if ev.name == "service.cell" and not args.verbose:
+            return
+        detail = " ".join(f"{k}={v}" for k, v in sorted(ev.args.items()))
+        print(f"  [{ev.name}] {detail}", file=sys.stderr)
+
+    bus.subscribe(narrate)
+
+    async def serve() -> Coordinator:
+        coord = Coordinator(
+            host=args.host, port=args.port, store=store,
+            lease_seconds=args.lease, max_attempts=args.max_attempts,
+            bus=bus,
+        )
+        await coord.start()
+        print(f"serving on {coord.host}:{coord.port} "
+              f"(fingerprint {coord.fingerprint}, "
+              f"store {'off' if store is None else store.root}, "
+              f"lease {args.lease:g}s, "
+              f"max attempts {args.max_attempts})", flush=True)
+        try:
+            await coord.wait_stopped()
+        finally:
+            await coord.stop()
+            print(f"coordinator stopped: {coord.summary()}", file=sys.stderr)
+        return coord
+
+    asyncio.run(serve())
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.protocol import parse_addr
+    from repro.service.store import ResultStore
+    from repro.service.worker import run_worker
+
+    host, port = parse_addr(args.coordinator)
+    store = (ResultStore(root=args.store, mode="rw")
+             if args.store else None)
+    stats = asyncio.run(run_worker(
+        host, port, worker_id=args.id, store=store,
+        connect_retries=args.connect_retries,
+    ))
+    print(f"worker done: {stats['executed']} executed, "
+          f"{stats['hits']} store hits, {stats['failed']} failed")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import merge_into, plan_cells
+    from repro.service.client import (
+        coordinator_status,
+        request_shutdown,
+        submit_cells,
+    )
+    from repro.telemetry.bus import TelemetryBus
+
+    if args.stop:
+        request_shutdown(args.coordinator)
+        print("coordinator stopped", file=sys.stderr)
+        return 0
+    if args.status:
+        doc = coordinator_status(args.coordinator)
+        print(f"workers: {', '.join(doc['workers']) or '(none)'}")
+        print(f"tasks:   {doc['tasks']}")
+        print(f"stats:   {doc['stats']}")
+        return 0
+
+    ctx = _make_ctx(args)
+    plan_by_section = {
+        "table2": {"table2": True},
+        "figure2": {"figure2": (tuple(args.cores), tuple(args.groups))},
+        "figure3": {"figure3": tuple(args.groups)},
+        "figure4": {"figure4": True},
+        "figure5": {"figure5": True},
+    }
+    cells = plan_cells(ctx, **plan_by_section[args.section])
+
+    bus = TelemetryBus(retain=False)
+
+    def narrate(ev):
+        if ev.name != "experiment.cell":
+            return
+        a = ev.args
+        print(f"  [{a['done']}/{a['total']}] {a['status']:<7} {a['key']}",
+              file=sys.stderr)
+
+    bus.subscribe(narrate)
+    report = submit_cells(args.coordinator, cells, bus=bus)
+    if report.failures:
+        print(report.failure_report(), file=sys.stderr)
+    merge_into(ctx, report)
+    print(report.summary(), file=sys.stderr)
+
+    if args.section == "table2":
+        print(format_table2(run_table2(ctx)))
+    elif args.section == "figure2":
+        print(format_figure2(run_figure2(
+            ctx, core_counts=tuple(args.cores), groups=tuple(args.groups))))
+    elif args.section == "figure3":
+        print(format_figure3(run_figure3(ctx, groups=tuple(args.groups))))
+    elif args.section == "figure4":
+        print(format_figure4(run_figure4(ctx)))
+    elif args.section == "figure5":
+        print(format_figure5(run_figure5(ctx)))
+    return 0
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     for m in WORKLOAD_MIXES:
         apps = ", ".join(a.name for a in m.apps())
@@ -309,12 +440,68 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("policies", help="list scheduling policies")
     p.set_defaults(fn=_cmd_policies)
 
+    p = sub.add_parser(
+        "serve", help="start the distributed sweep coordinator")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1; see the security "
+                        "note in docs/DISTRIBUTED.md before widening)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = pick a free one)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="content-addressed result store "
+                        "(default: .repro-cache)")
+    p.add_argument("--no-store", action="store_true",
+                   help="run without a persistent result store")
+    p.add_argument("--lease", type=float, default=60.0, metavar="SECONDS",
+                   help="cell lease duration before a silent worker is "
+                        "presumed dead (default 60)")
+    p.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                   help="attempts per cell before it is reported failed")
+    p.add_argument("--verbose", action="store_true",
+                   help="also narrate per-cell service events")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("worker", help="attach a sweep worker")
+    p.add_argument("coordinator", metavar="HOST:PORT")
+    p.add_argument("--id", default=None, help="worker name (default: auto)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="local read-through result store (optional)")
+    p.add_argument("--connect-retries", type=int, default=10, metavar="N",
+                   help="retry the initial connection N times, 0.5s apart "
+                        "(default 10 — lets the worker start first)")
+    p.set_defaults(fn=_cmd_worker)
+
+    p = sub.add_parser(
+        "submit",
+        help="run a figure/table sweep on a coordinator, byte-identical "
+             "to the serial command")
+    p.add_argument("coordinator", metavar="HOST:PORT")
+    p.add_argument("section", nargs="?", default="figure2",
+                   choices=("table2", "figure2", "figure3", "figure4",
+                            "figure5"))
+    _add_common(p)
+    p.add_argument("--cores", type=int, nargs="+", default=[4])
+    p.add_argument("--groups", nargs="+", default=["MEM"])
+    p.add_argument("--seeds", type=int, nargs="+", default=[1])
+    p.add_argument("--status", action="store_true",
+                   help="print the coordinator's status and exit")
+    p.add_argument("--stop", action="store_true",
+                   help="shut the coordinator down and exit")
+    p.set_defaults(fn=_cmd_submit)
+
     return ap
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except KeyboardInterrupt:
+        # Clean interactive interrupt: pools/connections wound down by the
+        # handlers above; completed cells persist in the store, so a re-run
+        # with --resume (or against the same coordinator) picks up there.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

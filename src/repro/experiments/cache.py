@@ -16,7 +16,17 @@ JSON file named by the cell key's digest.  Three safety properties:
 
 Writes are atomic (``os.replace`` of a temp file) so an interrupted run
 leaves either a complete entry or none — which is what makes
-``--resume`` safe.
+``--resume`` safe.  On POSIX hosts every write additionally holds an
+advisory ``flock`` on ``<dir>/.lock`` (:class:`DirLock`), so two
+*concurrent invocations* sharing one cache directory serialise their
+writes instead of racing on the same entry.
+
+This module is the single implementation of the content-addressed
+result format: the distributed sweep service
+(:mod:`repro.service.store`) builds directly on the same keys,
+fingerprint, payload codec and on-disk layout, so a directory written
+by a local ``--jobs`` run is a warm store for a coordinator and vice
+versa.
 
 Cache *modes* separate the two read policies callers want:
 
@@ -33,15 +43,21 @@ import hashlib
 import json
 import os
 import subprocess
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
+
+try:  # POSIX only; Windows falls back to atomic-rename-only semantics
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.experiments.cells import CellKey
 from repro.metrics.memory_efficiency import MeProfile
 from repro.sim.runner import CoreResult, RunResult
 
-__all__ = ["CacheStats", "ResultCache", "code_fingerprint",
-           "encode_payload", "decode_payload"]
+__all__ = ["CacheStats", "DirLock", "ResultCache", "code_fingerprint",
+           "encode_payload", "decode_payload", "payload_sha"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -159,9 +175,52 @@ def decode_payload(doc: dict):
     raise ValueError(f"unknown cached payload type {kind!r}")
 
 
-def _payload_sha(payload: dict) -> str:
+def payload_sha(payload: dict) -> str:
+    """SHA-256 of the canonical JSON rendering of an encoded payload.
+
+    The wire protocol and the on-disk entries both carry this digest, so
+    a payload can be verified end to end without decoding it.
+    """
     blob = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# -- locking ---------------------------------------------------------------------
+
+
+class DirLock:
+    """Advisory inter-process lock serialising writers of one directory.
+
+    Two concurrent ``run_all_experiments.py --jobs`` invocations (or a
+    coordinator plus a local run) sharing one cache directory take this
+    lock around each entry write, so the temp-file + ``os.replace``
+    sequence of different processes never interleaves on one entry.
+    Readers never take the lock — ``os.replace`` keeps reads atomic.
+
+    Implemented with ``flock`` on ``<dir>/.lock``; on platforms without
+    ``fcntl`` the lock degrades to a no-op (rename atomicity still
+    holds).
+    """
+
+    LOCK_NAME = ".lock"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    @contextmanager
+    def held(self):
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.root / self.LOCK_NAME, os.O_CREAT | os.O_RDWR,
+                     0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
 
 
 # -- the cache -------------------------------------------------------------------
@@ -199,6 +258,7 @@ class ResultCache:
         self.mode = mode
         self.fingerprint = fingerprint or code_fingerprint()
         self.stats = CacheStats()
+        self._lock = DirLock(self.root)
 
     def _path(self, key: CellKey) -> Path:
         return self.root / f"{key.digest()}.json"
@@ -231,7 +291,7 @@ class ResultCache:
                 self.stats.misses += 1
                 return None
             payload = doc["payload"]
-            if _payload_sha(payload) != doc.get("sha"):
+            if payload_sha(payload) != doc.get("sha"):
                 self.stats.corrupt += 1
                 self.stats.misses += 1
                 return None
@@ -245,20 +305,32 @@ class ResultCache:
 
     def put(self, key: CellKey, result) -> None:
         """Store one result atomically (no-op in ``"off"`` mode)."""
+        self.put_payload(key, encode_payload(result))
+
+    def put_payload(self, key: CellKey, payload: dict) -> None:
+        """Store an already-encoded payload atomically, under the lock.
+
+        This is the write path shared with the sweep service: the
+        coordinator stores verified wire payloads without a decode /
+        re-encode round trip.  The directory lock serialises writers
+        from *different invocations* sharing the directory; the temp
+        file is pid-suffixed so same-host writers never collide even on
+        platforms where the lock is a no-op.
+        """
         if self.mode == "off":
             return
-        payload = encode_payload(result)
         doc = {
             "v": 1,
             "fingerprint": self.fingerprint,
             "key": key.canonical(),
             "key_str": key.key_str(),
-            "sha": _payload_sha(payload),
+            "sha": payload_sha(payload),
             "payload": payload,
         }
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(doc, sort_keys=True) + "\n")
-        os.replace(tmp, path)
+        with self._lock.held():
+            tmp.write_text(json.dumps(doc, sort_keys=True) + "\n")
+            os.replace(tmp, path)
         self.stats.writes += 1

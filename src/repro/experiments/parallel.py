@@ -283,26 +283,28 @@ def _run_round_pool(cells, jobs, progress, failures, retried, results):
     broken = False
     pending_retry: list[Cell] = []
     unfinished: list[Cell] = list(cells)
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(cells)))
     try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-            futures = {pool.submit(_timed_execute, c, 0): c for c in cells}
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    cell = futures[fut]
-                    try:
-                        payload, dt = fut.result()
-                    except BrokenProcessPool:
-                        raise
-                    except Exception:
-                        pending_retry.append(cell)
-                        continue
-                    results[cell.key] = payload
-                    unfinished.remove(cell)
-                    executed += 1
-                    progress.emit(cell.key, "run", dt)
+        futures = {pool.submit(_timed_execute, c, 0): c for c in cells}
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for fut in done:
+                cell = futures[fut]
+                try:
+                    payload, dt = fut.result()
+                except BrokenProcessPool:
+                    raise
+                except Exception:
+                    pending_retry.append(cell)
+                    continue
+                results[cell.key] = payload
+                unfinished.remove(cell)
+                executed += 1
+                progress.emit(cell.key, "run", dt)
+        pool.shutdown(wait=True)
     except BrokenProcessPool:
+        pool.shutdown(wait=False, cancel_futures=True)
         broken = True
         # Everything not yet merged (including would-be retries) runs
         # serially in the parent; that is their one retry.
@@ -312,6 +314,13 @@ def _run_round_pool(cells, jobs, progress, failures, retried, results):
             attempt0=1,
         )
         return executed, broken
+    except (KeyboardInterrupt, SystemExit):
+        # Ctrl-C: release the pool without waiting for in-flight cells
+        # (the workers share our process group and die on the same
+        # SIGINT) and let the caller flush its partial report — never a
+        # hung pool, never a traceback dump from inside the executor.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
 
     for cell in pending_retry:
         try:

@@ -1,0 +1,62 @@
+"""Distributed sweep service: coordinator, workers, shared result store.
+
+The experiment layer reduced every figure/table simulation to a pure
+``Cell -> result`` function with a canonical merge order
+(:mod:`repro.experiments.cells` / :mod:`repro.experiments.parallel`).
+This package promotes that contract from one process pool to a fleet:
+
+* :mod:`repro.service.coordinator` — asyncio TCP coordinator: leases,
+  heartbeats, retry budgets, dependency-aware dispatch, result fan-out;
+* :mod:`repro.service.worker` — executes cells and streams float-hex
+  exact payloads back;
+* :mod:`repro.service.client` — submit a cell set, receive a
+  :class:`~repro.experiments.parallel.ParallelReport` that merges
+  bit-identically to a serial run;
+* :mod:`repro.service.store` — the shared content-addressed result
+  store (same keys/layout as ``.repro-cache/``);
+* :mod:`repro.service.protocol` — the newline-delimited JSON wire
+  format;
+* :mod:`repro.service.leases` — the pure lease/retry bookkeeping.
+
+CLI: ``repro serve`` / ``repro worker`` / ``repro submit``.
+Docs: docs/DISTRIBUTED.md (protocol, semantics, security posture).
+"""
+
+from repro.service.client import (
+    coordinator_status,
+    request_shutdown,
+    submit_cells,
+    submit_cells_async,
+)
+from repro.service.coordinator import Coordinator
+from repro.service.leases import TaskBoard, TaskState
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServiceError,
+    parse_addr,
+)
+from repro.service.store import (
+    DEFAULT_STORE_DIR,
+    PayloadIntegrityError,
+    ResultStore,
+)
+from repro.service.worker import run_worker
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Coordinator",
+    "DEFAULT_STORE_DIR",
+    "PayloadIntegrityError",
+    "ProtocolError",
+    "ResultStore",
+    "ServiceError",
+    "TaskBoard",
+    "TaskState",
+    "coordinator_status",
+    "parse_addr",
+    "request_shutdown",
+    "run_worker",
+    "submit_cells",
+    "submit_cells_async",
+]

@@ -1,0 +1,181 @@
+"""Client side of the sweep service: submit cells, collect a report.
+
+:func:`submit_cells` is the distributed counterpart of
+:func:`repro.experiments.parallel.run_cells` — same input (a list of
+:class:`Cell`), same output (a :class:`ParallelReport` whose ``results``
+are ordered by canonical cell key), so
+:func:`repro.experiments.parallel.merge_into` and every harness built on
+it work unchanged.  Byte-identity of the final tables follows: the
+client re-verifies each payload's SHA-256, decodes it with the float-hex
+codec, and sorts by key — completion order, worker identity and network
+timing cannot leak into the output.
+
+Progress streams onto an optional telemetry bus as the same
+``experiment.cell`` / ``experiment.cache`` instant events the local
+parallel runner emits, so existing subscribers (the stderr narrator of
+``run_all_experiments.py``) work on distributed runs too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.experiments.cells import Cell, CellKey
+from repro.experiments.parallel import CellFailure, ParallelReport
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ServiceError,
+    encode_cell,
+    expect,
+    parse_addr,
+    read_msg,
+    send_msg,
+)
+from repro.service.store import (
+    PayloadIntegrityError,
+    code_fingerprint,
+    decode_payload,
+    payload_sha,
+)
+from repro.telemetry.bus import TelemetryBus
+
+__all__ = ["submit_cells", "submit_cells_async", "request_shutdown",
+           "coordinator_status"]
+
+
+async def _open(host: str, port: int):
+    reader, writer = await asyncio.open_connection(host, port,
+                                                   limit=MAX_LINE_BYTES)
+    await send_msg(writer, {
+        "t": "hello", "role": "client", "protocol": PROTOCOL_VERSION,
+        "fingerprint": code_fingerprint(),
+    })
+    expect(await read_msg(reader), "welcome")
+    return reader, writer
+
+
+async def submit_cells_async(
+    host: str,
+    port: int,
+    cells: list[Cell],
+    *,
+    bus: TelemetryBus | None = None,
+) -> ParallelReport:
+    """Submit cells to a running coordinator and await every result."""
+    t0 = time.perf_counter()
+    unique: dict[CellKey, Cell] = {}
+    for cell in cells:
+        unique.setdefault(cell.key, cell)
+    ordered = sorted(unique.values(), key=lambda c: c.key.key_str())
+    by_digest = {c.key.digest(): c.key for c in ordered}
+
+    report = ParallelReport()
+    results: dict[CellKey, object] = {}
+    reader, writer = await _open(host, port)
+    try:
+        await send_msg(writer, {
+            "t": "submit",
+            "cells": [encode_cell(c) for c in ordered],
+        })
+        accepted = expect(await read_msg(reader), "accepted")
+        total = accepted["total"]
+        done = 0
+        while True:
+            msg = await read_msg(reader)
+            if msg is None:
+                raise ServiceError(
+                    f"coordinator closed the connection with "
+                    f"{total - done} cells outstanding"
+                )
+            t = msg.get("t")
+            if t == "cell_done":
+                key = by_digest[msg["key"]]
+                payload = msg["payload"]
+                if payload_sha(payload) != msg.get("sha"):
+                    raise PayloadIntegrityError(
+                        f"payload SHA mismatch for {key.key_str()} on the "
+                        "client link"
+                    )
+                results[key] = decode_payload(payload)
+                done += 1
+                status = msg.get("status", "run")
+                if status == "hit":
+                    report.cache_hits += 1
+                else:
+                    report.executed += 1
+                    if status == "retried":
+                        report.retried.append(key.key_str())
+                if bus is not None:
+                    bus.emit("experiment.cell", "instant", cycle=done,
+                             track="experiments", key=key.key_str(),
+                             status=status, seconds=0.0, done=done,
+                             total=total)
+            elif t == "cell_failed":
+                key = by_digest[msg["key"]]
+                done += 1
+                report.failures.append(CellFailure(
+                    key.key_str(), str(msg.get("error", "failed")),
+                    int(msg.get("attempts", 0)),
+                ))
+                if bus is not None:
+                    bus.emit("experiment.cell", "instant", cycle=done,
+                             track="experiments", key=key.key_str(),
+                             status="failed", seconds=0.0, done=done,
+                             total=total)
+            elif t == "job_done":
+                break
+            else:
+                raise ServiceError(f"unexpected message {t!r} mid-job")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    report.results = dict(
+        sorted(results.items(), key=lambda kv: kv[0].key_str())
+    )
+    report.seconds = time.perf_counter() - t0
+    report.cache_stats.hits = report.cache_hits
+    report.cache_stats.misses = report.executed
+    if bus is not None:
+        bus.emit("experiment.cache", "instant", cycle=len(report.results),
+                 track="experiments", **report.cache_stats.as_dict())
+    return report
+
+
+def submit_cells(addr: str, cells: list[Cell], *,
+                 bus: TelemetryBus | None = None) -> ParallelReport:
+    """Blocking wrapper: ``addr`` is ``"host:port"``."""
+    host, port = parse_addr(addr)
+    return asyncio.run(submit_cells_async(host, port, cells, bus=bus))
+
+
+async def _simple_request(host: str, port: int, msg: dict,
+                          reply: str) -> dict:
+    reader, writer = await _open(host, port)
+    try:
+        await send_msg(writer, msg)
+        return expect(await read_msg(reader), reply)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def coordinator_status(addr: str) -> dict:
+    """Status snapshot (workers, task counts, lifetime stats)."""
+    host, port = parse_addr(addr)
+    return asyncio.run(_simple_request(host, port, {"t": "status"},
+                                       "status_reply"))
+
+
+def request_shutdown(addr: str) -> None:
+    """Ask the coordinator to stop (trusted-network administrative verb)."""
+    host, port = parse_addr(addr)
+    asyncio.run(_simple_request(host, port, {"t": "shutdown"}, "bye"))

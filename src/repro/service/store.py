@@ -1,0 +1,65 @@
+"""Content-addressed result store shared by the sweep service.
+
+:class:`ResultStore` *is* the experiment result cache
+(:class:`repro.experiments.cache.ResultCache`): same cell-key digests,
+same code-fingerprint invalidation, same float-hex payload codec, same
+atomic + locked writes, same ``.repro-cache/``-style directory layout.
+A directory written by a local ``run_all_experiments.py --jobs`` run is
+a warm store for a coordinator, and a store populated by a fleet is a
+warm ``--resume`` cache for a laptop — that shared addressing is what
+lets workers on any host deduplicate work.
+
+On top of the cache it adds the service-side verification path:
+:meth:`admit` checks a wire payload's SHA-256 against the sender's
+claim *before* decoding or storing it, so a corrupted or tampered
+result is rejected (and the cell retried) rather than persisted.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.cache import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    code_fingerprint,
+    decode_payload,
+    encode_payload,
+    payload_sha,
+)
+from repro.experiments.cells import CellKey
+
+__all__ = ["DEFAULT_STORE_DIR", "PayloadIntegrityError", "ResultStore",
+           "code_fingerprint", "encode_payload", "decode_payload",
+           "payload_sha"]
+
+#: the service store defaults to the local runner's cache directory, so
+#: local and distributed runs share warm entries out of the box.
+DEFAULT_STORE_DIR = DEFAULT_CACHE_DIR
+
+
+class PayloadIntegrityError(ValueError):
+    """A wire payload failed SHA-256 verification or would not decode."""
+
+
+class ResultStore(ResultCache):
+    """The distributed sweep service's view of the result cache."""
+
+    def admit(self, key: CellKey, payload: dict, sha: str):
+        """Verify, store and decode one wire payload.
+
+        Raises :class:`PayloadIntegrityError` when the payload's actual
+        SHA-256 does not match the sender's claim or the payload does
+        not decode — the caller treats that as a failed attempt and
+        retries the cell elsewhere.  Returns the decoded result.
+        """
+        if payload_sha(payload) != sha:
+            raise PayloadIntegrityError(
+                f"payload SHA mismatch for {key.key_str()}"
+            )
+        try:
+            result = decode_payload(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PayloadIntegrityError(
+                f"payload for {key.key_str()} does not decode: {exc}"
+            ) from exc
+        self.put_payload(key, payload)
+        return result

@@ -1,0 +1,173 @@
+"""Sweep worker: execute cells for a coordinator, stream exact results.
+
+A worker is a thin shell around :func:`repro.experiments.cells
+.execute_cell` — the same pure ``Cell -> result`` function the local
+process pool runs.  It connects to a coordinator, registers (the
+handshake rejects a code-fingerprint mismatch, so a stale checkout can
+never contribute results), then loops:
+
+1. receive one ``task`` (the coordinator leases at most one cell per
+   worker at a time);
+2. consult the optional local :class:`~repro.service.store.ResultStore`
+   (the same read-through the :class:`ExperimentContext` cache layer
+   does, at cell granularity) — a warm entry skips the simulation;
+3. otherwise simulate in a thread (``asyncio.to_thread``), so the
+   heartbeat task keeps extending the worker's lease while the
+   simulator grinds;
+4. encode the result with the float-hex codec and send it back with its
+   SHA-256.
+
+Simulation faults are reported as ``task_failed`` (the coordinator
+retries the cell, here or elsewhere, within its budget); a clean EOF
+from the coordinator ends the worker.
+
+Fault injection (tests only): ``REPRO_SERVICE_CORRUPT=<substring>``
+makes the worker mis-report the SHA of the first attempt of any cell
+whose key matches — exercising the coordinator's integrity check — and
+the ``REPRO_PARALLEL_FAULT*`` hooks of :mod:`repro.experiments.cells`
+work unchanged, since execution goes through ``execute_cell``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from repro.experiments.cells import Cell, execute_cell
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_cell,
+    expect,
+    read_msg,
+    send_msg,
+)
+from repro.service.store import (
+    ResultStore,
+    code_fingerprint,
+    encode_payload,
+    payload_sha,
+)
+
+__all__ = ["run_worker"]
+
+
+def _maybe_corrupt_sha(key_str: str, sha: str, attempt: int) -> str:
+    """Test-only hook: claim a wrong SHA on the first matching attempt."""
+    pattern = os.environ.get("REPRO_SERVICE_CORRUPT")
+    if pattern and pattern in key_str and attempt == 0:
+        return "0" * 64
+    return sha
+
+
+async def _heartbeat_loop(writer: asyncio.StreamWriter, lock: asyncio.Lock,
+                          name: str, interval: float) -> None:
+    try:
+        while True:
+            await asyncio.sleep(interval)
+            async with lock:
+                await send_msg(writer, {"t": "heartbeat", "worker": name})
+    except (ConnectionError, OSError):
+        return  # the main loop will see the EOF and wind down
+
+
+def _execute(cell: Cell, attempt: int, store: ResultStore | None,
+             stats: dict) -> dict:
+    """Blocking leg, run in a thread: store read-through + simulate."""
+    if store is not None:
+        hit = store.get(cell.key)
+        if hit is not None:
+            stats["hits"] += 1
+            return encode_payload(hit)
+    result = execute_cell(cell, attempt)
+    if store is not None:
+        store.put(cell.key, result)
+    stats["executed"] += 1
+    return encode_payload(result)
+
+
+async def run_worker(
+    host: str,
+    port: int,
+    *,
+    worker_id: str | None = None,
+    store: ResultStore | None = None,
+    connect_retries: int = 0,
+    retry_delay: float = 0.5,
+    heartbeat_seconds: float | None = None,
+) -> dict:
+    """Serve one coordinator until it closes the connection.
+
+    Returns the worker's lifetime counters: ``executed`` simulations,
+    ``hits`` from the local store, ``failed`` cell attempts.
+    ``connect_retries`` makes startup robust to the coordinator coming
+    up a moment later (two-terminal quickstart, CI orchestration).
+    """
+    last_exc: Exception | None = None
+    for attempt in range(connect_retries + 1):
+        try:
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=MAX_LINE_BYTES)
+            break
+        except OSError as exc:
+            last_exc = exc
+            if attempt == connect_retries:
+                raise
+            await asyncio.sleep(retry_delay)
+    del last_exc
+
+    stats = {"executed": 0, "hits": 0, "failed": 0}
+    send_lock = asyncio.Lock()
+    heartbeat: asyncio.Task | None = None
+    try:
+        await send_msg(writer, {
+            "t": "hello", "role": "worker", "protocol": PROTOCOL_VERSION,
+            "worker": worker_id, "fingerprint": code_fingerprint(),
+        })
+        welcome = expect(await read_msg(reader), "welcome")
+        name = welcome.get("worker") or worker_id or "worker"
+        interval = (heartbeat_seconds if heartbeat_seconds is not None
+                    else float(welcome.get("heartbeat", 5.0)))
+        heartbeat = asyncio.create_task(
+            _heartbeat_loop(writer, send_lock, name, interval))
+
+        while True:
+            msg = await read_msg(reader)
+            if msg is None:
+                break
+            if msg.get("t") != "task":
+                continue  # tolerate benign extras (future protocol growth)
+            cell = decode_cell(msg["cell"])
+            attempt = int(msg.get("attempt", 0))
+            try:
+                payload = await asyncio.to_thread(
+                    _execute, cell, attempt, store, stats)
+            except Exception as exc:
+                stats["failed"] += 1
+                async with send_lock:
+                    await send_msg(writer, {
+                        "t": "task_failed", "task": msg.get("task"),
+                        "key": cell.key.digest(), "error": repr(exc),
+                    })
+                continue
+            sha = _maybe_corrupt_sha(cell.key.key_str(),
+                                     payload_sha(payload), attempt)
+            async with send_lock:
+                await send_msg(writer, {
+                    "t": "result", "task": msg.get("task"),
+                    "key": cell.key.digest(), "payload": payload,
+                    "sha": sha,
+                })
+    finally:
+        if heartbeat is not None:
+            heartbeat.cancel()
+            try:
+                await heartbeat
+            except asyncio.CancelledError:
+                pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return stats

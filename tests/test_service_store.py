@@ -1,0 +1,142 @@
+"""The shared result store: wire-payload admission and the directory
+lock that serialises concurrent invocations on one cache directory.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments.cache import DirLock, ResultCache
+from repro.experiments.cells import eval_cell_key
+from repro.service.store import (
+    PayloadIntegrityError,
+    ResultStore,
+    encode_payload,
+    payload_sha,
+)
+from repro.sim.runner import CoreResult
+
+CFG = SystemConfig()
+
+
+def _key(policy: str = "HF-RF"):
+    return eval_cell_key("4MEM-1", policy, 7, 300, 200, 256, CFG, 200)
+
+
+def _result() -> CoreResult:
+    return CoreResult(app="art", code="E", core_id=0, ipc=0.5,
+                      finish_cycle=1000, committed=300, reads=10,
+                      avg_read_latency=200.0, bytes_total=640,
+                      bw_gbps=1.25)
+
+
+def test_admit_verifies_stores_and_decodes(tmp_path):
+    store = ResultStore(root=tmp_path, mode="rw")
+    payload = encode_payload(_result())
+    decoded = store.admit(_key(), payload, payload_sha(payload))
+    assert decoded == _result()
+    # the entry is a regular cache entry, readable by a plain ResultCache
+    assert ResultCache(root=tmp_path, mode="rw").get(_key()) == _result()
+
+
+def test_admit_rejects_sha_mismatch_without_writing(tmp_path):
+    store = ResultStore(root=tmp_path, mode="rw")
+    payload = encode_payload(_result())
+    with pytest.raises(PayloadIntegrityError, match="SHA mismatch"):
+        store.admit(_key(), payload, "0" * 64)
+    assert store.get(_key()) is None
+    assert list(tmp_path.glob("*.json")) == []
+
+
+def test_admit_rejects_undecodable_payload(tmp_path):
+    store = ResultStore(root=tmp_path, mode="rw")
+    junk = {"type": "RunResult", "mix_name": "4MEM-1"}  # missing fields
+    with pytest.raises(PayloadIntegrityError, match="does not decode"):
+        store.admit(_key(), junk, payload_sha(junk))
+    assert list(tmp_path.glob("*.json")) == []
+
+
+def test_store_is_interchangeable_with_the_local_cache(tmp_path):
+    """A directory warmed by the local runner is warm for the service
+    and vice versa — the addressing is identical by construction."""
+    local = ResultCache(root=tmp_path, mode="rw")
+    local.put(_key("RR"), _result())
+    assert ResultStore(root=tmp_path, mode="rw").get(_key("RR")) == _result()
+
+    service = ResultStore(root=tmp_path, mode="rw")
+    service.put(_key("LREQ"), _result())
+    assert ResultCache(root=tmp_path, mode="rw").get(_key("LREQ")) \
+        == _result()
+
+
+# -- DirLock ----------------------------------------------------------------------
+
+
+def _locked_increments(root: str, counter: str, iters: int) -> None:
+    lock = DirLock(root)
+    for _ in range(iters):
+        with lock.held():
+            value = int(open(counter).read())
+            open(counter, "w").write(str(value + 1))
+
+
+def test_dirlock_serialises_concurrent_processes(tmp_path):
+    """A read-modify-write cycle under the lock must never lose an
+    update across processes — the property the cache-entry writes of
+    concurrent invocations rely on."""
+    counter = tmp_path / "counter"
+    counter.write_text("0")
+    procs = [
+        multiprocessing.Process(
+            target=_locked_increments,
+            args=(str(tmp_path), str(counter), 50),
+        )
+        for _ in range(4)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    assert int(counter.read_text()) == 4 * 50
+
+
+def _put_many(root: str, n: int) -> None:
+    cache = ResultCache(root=root, mode="rw")
+    result = _result()
+    for i in range(n):
+        cache.put(_key(f"P{i % 5}"), result)
+
+
+def test_concurrent_cache_writers_leave_only_valid_entries(tmp_path):
+    """Two invocations hammering the same five entries: every surviving
+    file must parse and verify (no interleaved/torn writes), and no
+    temp files leak."""
+    procs = [multiprocessing.Process(target=_put_many,
+                                     args=(str(tmp_path), 40))
+             for _ in range(3)]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    entries = list(tmp_path.glob("*.json"))
+    assert len(entries) == 5
+    for path in entries:
+        doc = json.loads(path.read_text())
+        assert payload_sha(doc["payload"]) == doc["sha"]
+    assert not list(tmp_path.glob("*.tmp.*"))
+    assert (tmp_path / DirLock.LOCK_NAME).exists()
+
+
+def test_lockfile_is_not_mistaken_for_an_entry(tmp_path):
+    cache = ResultCache(root=tmp_path, mode="rw")
+    cache.put(_key(), _result())
+    assert (tmp_path / ".lock").exists()
+    assert cache.get(_key()) == _result()
+    assert os.path.basename(cache._path(_key())) != DirLock.LOCK_NAME
