@@ -1,0 +1,57 @@
+"""Bench: fast (struct-of-arrays) engine vs the object reference engine.
+
+One bench per backend on the same fixed-seed multicore run, so a single
+``pytest benchmarks/bench_backend.py`` prints the head-to-head.  The two
+engines are bit-identical by contract (tests/test_golden_stats.py pins
+both against one golden file); this bench measures only how long each
+takes to produce those identical statistics.
+
+The committed history of the speedup lives in BENCH_PR7.json and
+docs/PERFORMANCE.md; this file exists so a regression in either engine
+shows up next to the substrate micro-benches in CI.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.config import SystemConfig
+from repro.sim.backend import fast_supported
+from repro.sim.runner import run_multicore
+from repro.workloads.mixes import workload_by_name
+
+BACKENDS = ("object", "fast")
+MIX = "4MEM-1"
+SEED = 7
+WARMUP = 2000
+
+
+def _run(backend: str, budget: int):
+    mix = workload_by_name(MIX)
+    return run_multicore(
+        mix, "HF-RF", inst_budget=budget, seed=SEED,
+        warmup_insts=WARMUP, backend=backend,
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_throughput(benchmark, ctx, backend):
+    """One full multicore evaluation run per engine, identical inputs."""
+    result = run_once(benchmark, _run, backend, ctx.inst_budget)
+    assert result.end_cycle > 0
+    assert all(c.ipc > 0 for c in result.per_core)
+
+
+def test_backends_bit_identical(ctx):
+    """The timing comparison above is only meaningful if the engines
+    agree; re-assert the contract at this bench's budget (the golden
+    suite pins it at its own)."""
+    ok, reason = fast_supported(SystemConfig())
+    assert ok, f"fast backend unsupported in default config: {reason}"
+    a = _run("object", ctx.inst_budget)
+    b = _run("fast", ctx.inst_budget)
+    assert a.end_cycle == b.end_cycle
+    assert a.row_hit_rate.hex() == b.row_hit_rate.hex()
+    for x, y in zip(a.per_core, b.per_core):
+        assert x.ipc.hex() == y.ipc.hex(), x.app
+        assert x.avg_read_latency.hex() == y.avg_read_latency.hex(), x.app
+        assert x.bytes_total == y.bytes_total, x.app

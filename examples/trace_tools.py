@@ -47,9 +47,13 @@ def main() -> None:
     for policy_name in ("FCFS", "HF-RF"):
         trace = load_trace(path)
         cfg = SystemConfig(num_cores=1)
+        # Pin the object backend: this example instruments the controller
+        # by wrapping its `_commit` method, and the fast backend fuses the
+        # whole scheduling point into one frame that never calls it.
         system = MultiCoreSystem(
             cfg, make_policy(policy_name), [trace],
             target_insts=min(args.budget, insts), seed=args.seed,
+            backend="object",
         )
         sampler = ReservoirSampler(512, seed=args.seed)
         orig = system.controller._commit

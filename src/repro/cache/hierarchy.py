@@ -166,13 +166,48 @@ class CacheHierarchy:
             if self.prefetcher is not None and line in self._prefetched_lines:
                 self._prefetched_lines.discard(line)
                 self.prefetcher.mark_useful()
-            self._fill_l1(core_id, line, dirty=is_write, now=now)
+            # -- L1 install (inlined _fill_l1; keep in sync) --
+            l1 = self.l1d[core_id]
+            t1 = line >> l1._off_bits
+            s1 = l1._sets[t1 & l1._set_mask]
+            if t1 in s1:
+                s1[t1] = s1.pop(t1) or is_write
+            else:
+                v_dirty = False
+                if len(s1) >= l1._assoc:
+                    v_tag = next(iter(s1))  # front of dict == LRU
+                    v_dirty = s1.pop(v_tag)
+                    l1.stats.evictions += 1
+                    if v_dirty:
+                        l1.stats.dirty_evictions += 1
+                s1[t1] = is_write
+                l1.stats.fills += 1
+                if v_dirty:
+                    v_addr = v_tag << l1._off_bits
+                    if not l2.set_dirty(v_addr):
+                        self._emit_writeback(core_id, v_addr, now)
             return self._l2_hit_latency
-        # L2 demand miss.  The merge/full tests are the inlined guts of
-        # MshrFile.outstanding/allocate/is_full (keep in sync with
-        # mshr.py) — this path runs once per retry of every blocked
-        # reference, not just once per miss.
+        # L2 demand miss.
         l2.stats.misses += 1
+        return self._after_l2_miss(core_id, line, is_write, now, waiter)
+
+    def _after_l2_miss(
+        self,
+        core_id: int,
+        line: int,
+        is_write: bool,
+        now: int,
+        waiter: Waiter | None,
+    ) -> int:
+        """Continuation once the L2 has missed (``line`` already aligned).
+
+        The caller has charged ``l2.stats.misses`` — the core model's
+        fetch loop enters here directly after its own inlined L2 probe.
+        The merge/full tests are the inlined guts of
+        MshrFile.outstanding/allocate/is_full (keep in sync with
+        mshr.py) — this path runs once per retry of every blocked
+        reference, not just once per miss.
+        """
         mshr = self.mshrs[core_id]
         entries = mshr._entries
         waiters = entries.get(line)
@@ -194,7 +229,11 @@ class CacheHierarchy:
             return BLOCKED
         if not self.controller.can_accept():
             return BLOCKED
-        mshr.allocate(line, waiter, now)
+        # -- new entry (inlined MshrFile.allocate; keep in sync) --
+        entries[line] = [waiter] if waiter is not None else []
+        mshr.allocations += 1
+        if len(entries) > mshr.peak_occupancy:
+            mshr.peak_occupancy = len(entries)
         self._l2_outstanding += 1
         self.l2_misses[core_id] += 1
         if is_write:
@@ -284,15 +323,23 @@ class CacheHierarchy:
 
     def _on_space_freed(self, now: int) -> None:
         self._space_watch_armed = False
-        self._on_resource_freed(now)
+        # Inlined _on_resource_freed: this fires once per freed buffer
+        # slot, the hottest wake fan-out after fills.
+        uw = self._unblock_waiters
+        if uw:
+            self._unblock_waiters = []
+            for cb in uw:
+                cb(now)
 
     # -- fill / writeback paths --------------------------------------------------
 
     def _on_fill(self, req: MemoryRequest, now: int) -> None:
         """Read data returned from DRAM: install the line, wake waiters.
 
-        The L2 install is the inlined body of SetAssocCache.fill (keep in
-        sync with cache.py) — this runs once per memory request.
+        The L2 install, L1 install and MSHR retirement are the inlined
+        bodies of SetAssocCache.fill / :meth:`_fill_l1` /
+        :meth:`MshrFile.complete` (keep in sync) — this runs once per
+        memory request and is the hottest completion path.
         """
         line = req.addr
         core = req.core_id
@@ -317,12 +364,42 @@ class CacheHierarchy:
         self._owner[line] = core
         if evicted is not None:
             self._handle_l2_eviction(evicted, now)
-        self._fill_l1(core, line, dirty=dirty, now=now)
+        # -- L1 install (inlined _fill_l1) --
+        l1 = self.l1d[core]
+        t1 = line >> l1._off_bits
+        s1 = l1._sets[t1 & l1._set_mask]
+        if t1 in s1:
+            s1[t1] = s1.pop(t1) or dirty
+        else:
+            v_dirty = False
+            if len(s1) >= l1._assoc:
+                v_tag = next(iter(s1))  # front of dict == LRU
+                v_dirty = s1.pop(v_tag)
+                l1.stats.evictions += 1
+                if v_dirty:
+                    l1.stats.dirty_evictions += 1
+            s1[t1] = dirty
+            l1.stats.fills += 1
+            if v_dirty:
+                v_addr = v_tag << l1._off_bits
+                if not l2.set_dirty(v_addr):
+                    self._emit_writeback(core, v_addr, now)
         self._l2_outstanding -= 1
-        self.mshrs[core].complete(line, now)
+        # -- MSHR retirement (inlined MshrFile.complete) --
+        mshr = self.mshrs[core]
+        waiters = mshr._entries.pop(line)
+        for w in waiters:
+            if type(w) is tuple:
+                w[0](w[1], now)
+            else:
+                w(line, now)
         if self.spans is not None:
             self.spans.end_inflight(core, line)
-        self._on_resource_freed(now)
+        uw = self._unblock_waiters
+        if uw:
+            self._unblock_waiters = []
+            for cb in uw:
+                cb(now)
 
     def _fill_l1(self, core_id: int, line: int, *, dirty: bool, now: int) -> None:
         # Inlined body of SetAssocCache.fill (keep in sync with cache.py):

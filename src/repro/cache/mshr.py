@@ -95,7 +95,13 @@ class MshrFile:
         except KeyError:
             raise KeyError(f"{self.name}: no outstanding miss for {line_addr:#x}") from None
         for w in waiters:
-            w(line_addr, now)
+            # A ``(method, entry)`` pair is the core model's closure-free
+            # load waiter (see TraceCore._advance_fetch): the method takes
+            # the ROB entry instead of the line address.
+            if type(w) is tuple:
+                w[0](w[1], now)
+            else:
+                w(line_addr, now)
         return len(waiters)
 
     def clear(self) -> None:

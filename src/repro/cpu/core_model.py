@@ -151,9 +151,18 @@ class TraceCore:
         mshr = hierarchy.mshrs[core_id]
         self._mshr_entries = mshr._entries
         self._mshr_cap = mshr.capacity
+        self._l2_mshr_cap = hierarchy.l2_mshr_cap
         #: the controller's shared buffer, or None for split-controller
         #: groups (per-channel queues; the probe calls can_accept instead)
         self._ctrl_queues = getattr(hierarchy.controller, "queues", None)
+        self._cq_cap = (
+            self._ctrl_queues.capacity if self._ctrl_queues is not None else 0
+        )
+        # Bound-method callbacks created once: the retry/store paths pass
+        # these thousands of times per run, and each plain attribute access
+        # would build a fresh bound method.
+        self._on_unblock_cb = self._on_unblock
+        self._store_cb = self._store_data_cb
         # Slot-unit cursors: fetch_q/commit_q point at the next free slot.
         self.fetch_q = 0
         self.commit_q = 0
@@ -277,9 +286,9 @@ class TraceCore:
                     cq = self._ctrl_queues
                     if line not in entries and (
                         len(entries) >= self._mshr_cap
-                        or h._l2_outstanding >= h.l2_mshr_cap
+                        or h._l2_outstanding >= self._l2_mshr_cap
                         or (
-                            cq.occupancy >= cq.capacity
+                            cq.occupancy >= self._cq_cap
                             if cq is not None
                             else not h.controller.can_accept()
                         )
@@ -292,7 +301,12 @@ class TraceCore:
                             self.spans.note_blocked(
                                 self.core_id, self.fetch_q // self._Q, line
                             )
-                        h.wait_unblock(self._on_unblock)
+                        # Inlined CacheHierarchy.wait_unblock (keep in
+                        # sync) — one call saved per failed retry.
+                        h._unblock_waiters.append(self._on_unblock_cb)
+                        if not h._space_watch_armed:
+                            h._space_watch_armed = True
+                            h.controller.wait_for_space(h._on_space_freed)
                         return  # still blocked
         self._blocked = False
         self._run(now)
@@ -443,6 +457,33 @@ class TraceCore:
         l1_hit_latency = self._l1_hit_latency
         demand = self._demand_accesses
         core_id = self.core_id
+        # Counter cells hoisted to locals for the per-op loop and written
+        # back once at exit (no callee reads them mid-call: the hierarchy
+        # charges its own counters and nothing re-enters this core).  The
+        # L1 stats object is re-read per call because clear() replaces it.
+        l1_stats = l1.stats
+        n_l1_hits = 0  # l1.stats.hits
+        n_l1_miss = 0  # l1.stats.misses
+        n_demand = 0  # demand_accesses[core_id]
+        n_loads = 0
+        n_stores = 0
+        n_s_l1_hits = 0  # stats.l1_hits
+        # L2 fast path hoists (the L2-hit continuation of
+        # access_after_l1_miss is inlined below; keep in sync).
+        h = self.hierarchy
+        line_mask = self._line_mask
+        l2_sets = self._l2_sets
+        l2_off_bits = self._l2_off_bits
+        l2_set_mask = self._l2_set_mask
+        l2stats = h.l2.stats
+        l2_hit_latency = h._l2_hit_latency
+        l2_lat_is_l1 = l2_hit_latency == l1_hit_latency
+        l1_assoc = l1._assoc
+        prefetcher = h.prefetcher
+        after_l2_miss = h._after_l2_miss
+        n_l2_hits = 0  # l2.stats.hits
+        n_l2_miss = 0  # l2.stats.misses
+        n_l2_load_hits = 0  # stats.l2_hits
         r_ops = self._replay_ops
         r_pos = self._trace_pos
         # Recording length, hoisted: another consumer may extend the
@@ -493,7 +534,11 @@ class TraceCore:
                 continue
             plain = cur_inst - fetched
             if plain > 0:
-                take = min(plain, space, limit_q - fetch_q)
+                # take = min(plain, space, limit_q - fetch_q), inlined.
+                take = plain if plain < space else space
+                room = limit_q - fetch_q
+                if room < take:
+                    take = room
                 if take <= 0:
                     break
                 fetched += take
@@ -504,66 +549,102 @@ class TraceCore:
             cycle = fetch_q // Q
             is_write = op.is_write
             addr = op.addr
-            demand[core_id] += 1
+            n_demand += 1
             tag = addr >> l1_off_bits
             s = l1_sets[tag & l1_set_mask]
             if tag in s:
                 # L1 hit — the overwhelmingly common outcome — handled
                 # entirely here; move-to-back refreshes recency.
                 s[tag] = s.pop(tag) or is_write
-                l1.stats.hits += 1
+                n_l1_hits += 1
                 if is_write:
-                    stats.stores += 1
+                    n_stores += 1
                 else:
-                    rob.append([fetched, cycle + l1_hit_latency])
-                    stats.l1_hits += 1
-                    stats.loads += 1
+                    # Ready loads never mutate their entry: a tuple is
+                    # cheaper to build than a list and commits identically.
+                    rob.append((fetched, cycle + l1_hit_latency))
+                    n_s_l1_hits += 1
+                    n_loads += 1
             else:
-                l1.stats.misses += 1
-                if is_write:
-                    entry = None
-                    waiter = self._store_data_cb
-                else:
-                    entry = [fetched, _NOT_READY]
-
-                    def waiter(_line: int, done: int, e=entry) -> None:
-                        self._on_load_ready(e, done)
-
-                result = self.hierarchy.access_after_l1_miss(
-                    core_id, addr, is_write, cycle, waiter
-                )
-                if result >= 0:
-                    # L2 hit.
-                    if is_write:
-                        stats.stores += 1
+                n_l1_miss += 1
+                line = addr & line_mask
+                t2 = line >> l2_off_bits
+                s2 = l2_sets[t2 & l2_set_mask]
+                if t2 in s2:
+                    # L2 hit — inlined hit path of access_after_l1_miss
+                    # (keep in sync with hierarchy.py): refresh L2
+                    # recency, install into L1 and retire the reference
+                    # here, with no hierarchy call and no waiter.
+                    s2[t2] = s2.pop(t2)
+                    n_l2_hits += 1
+                    if prefetcher is not None and line in h._prefetched_lines:
+                        h._prefetched_lines.discard(line)
+                        prefetcher.mark_useful()
+                    t1 = line >> l1_off_bits
+                    s1 = l1_sets[t1 & l1_set_mask]
+                    if t1 in s1:
+                        s1[t1] = s1.pop(t1) or is_write
                     else:
-                        entry[1] = cycle + result
-                        if result == l1_hit_latency:
-                            stats.l1_hits += 1
+                        v_dirty = False
+                        if len(s1) >= l1_assoc:
+                            v_tag = next(iter(s1))  # front of dict == LRU
+                            v_dirty = s1.pop(v_tag)
+                            l1_stats.evictions += 1
+                            if v_dirty:
+                                l1_stats.dirty_evictions += 1
+                        s1[t1] = is_write
+                        l1_stats.fills += 1
+                        if v_dirty:
+                            v_addr = v_tag << l1_off_bits
+                            if not h.l2.set_dirty(v_addr):
+                                h._emit_writeback(core_id, v_addr, cycle)
+                    if is_write:
+                        n_stores += 1
+                    else:
+                        # Data is ready at a known cycle: a tuple entry
+                        # commits identically and never mutates.
+                        rob.append((fetched, cycle + l2_hit_latency))
+                        if l2_lat_is_l1:
+                            n_s_l1_hits += 1
                         else:
-                            stats.l2_hits += 1
-                        stats.loads += 1
-                        rob.append(entry)
-                elif result == BLOCKED:
-                    stats.structural_stalls += 1
-                    if self.spans is not None:
-                        # Stamp the first attempt so the eventual request's
-                        # span can attribute the structural-stall wait.
-                        self.spans.note_blocked(
-                            core_id, cycle, self.hierarchy.line_of(addr)
-                        )
-                    self._blocked = True
-                    self.hierarchy.wait_unblock(self._on_unblock)
-                    break  # op stays pending for the retry
-                elif is_write:
-                    stats.stores += 1
+                            n_l2_load_hits += 1
+                        n_loads += 1
                 else:
-                    # PENDING (new memory request) or MERGED (rides an
-                    # in-flight line): either way the load waits.
-                    stats.loads += 1
-                    if result == PENDING:
-                        stats.mem_requests += 1
-                    rob.append(entry)
+                    n_l2_miss += 1
+                    if is_write:
+                        entry = None
+                        waiter = self._store_cb
+                    else:
+                        entry = [fetched, _NOT_READY]
+                        # (method, entry) pair instead of a per-miss
+                        # closure; MSHR fire sites unpack it (see
+                        # MshrFile.complete).
+                        waiter = (self._on_load_ready, entry)
+                    result = after_l2_miss(core_id, line, is_write, cycle, waiter)
+                    if result == BLOCKED:
+                        stats.structural_stalls += 1
+                        if self.spans is not None:
+                            # Stamp the first attempt so the eventual
+                            # request's span can attribute the
+                            # structural-stall wait.
+                            self.spans.note_blocked(core_id, cycle, line)
+                        self._blocked = True
+                        # Inlined CacheHierarchy.wait_unblock (keep in
+                        # sync).
+                        h._unblock_waiters.append(self._on_unblock_cb)
+                        if not h._space_watch_armed:
+                            h._space_watch_armed = True
+                            h.controller.wait_for_space(h._on_space_freed)
+                        break  # op stays pending for the retry
+                    elif is_write:
+                        n_stores += 1
+                    else:
+                        # PENDING (new memory request) or MERGED (rides an
+                        # in-flight line): either way the load waits.
+                        n_loads += 1
+                        if result == PENDING:
+                            stats.mem_requests += 1
+                        rob.append(entry)
             fetched += 1
             fetch_q += 1
             if r_pos < n_ops:
@@ -586,6 +667,17 @@ class TraceCore:
         self._trace_pos = r_pos
         self._cur_op = op
         self._cur_op_inst = cur_inst
+        if n_demand:
+            demand[core_id] += n_demand
+            l1_stats.hits += n_l1_hits
+            l1_stats.misses += n_l1_miss
+            stats.loads += n_loads
+            stats.stores += n_stores
+            stats.l1_hits += n_s_l1_hits
+            if n_l1_miss:
+                l2stats.hits += n_l2_hits
+                l2stats.misses += n_l2_miss
+                stats.l2_hits += n_l2_load_hits
         return progressed
 
     def _store_data_cb(self, _line: int, now: int) -> None:

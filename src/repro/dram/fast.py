@@ -1,0 +1,283 @@
+"""Struct-of-arrays DRAM state for the fast backend.
+
+:class:`repro.dram.bank.Bank` keeps each bank's hot state (``open_row``,
+``ready_cycle``) and counters in one Python object; a scheduling point
+then chases ``banks[i].ready_cycle`` attribute chains or snapshots them
+into throwaway lists.  :class:`FastChannel` flattens that per-bank state
+into parallel integer lists indexed by bank::
+
+    ready[bank]     earliest cycle a new command may start (busy-until)
+    open_row[bank]  row latched in the row buffer, -1 when precharged
+    hits/acts/confs lifetime per-bank counters
+
+The fast controller reads and writes these arrays directly — no snapshot
+listcomps, no ``Bank.commit`` call per transaction.  Rows are always
+non-negative, so ``-1`` is a faithful stand-in for the object model's
+``None`` in every comparison the scheduler makes.
+
+The statistics surface matches :class:`repro.dram.channel.Channel`
+(``transactions``/``writes``/``data_cycles`` scalars, ``total_*``
+properties, ``bus_utilisation``) so the telemetry sampler and the golden
+deep fingerprints read both backends identically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.config import DramTimingConfig, DramTopologyConfig
+from repro.dram.channel import TransactionTiming
+from repro.dram.dram_system import DramSystem
+
+__all__ = ["FastBankView", "FastChannel", "FastDramSystem"]
+
+
+class FastBankView:
+    """Read-only snapshot of one bank's SoA state, Bank-shaped.
+
+    Post-run consumers (``repro.metrics.analysis``, debugging) iterate
+    ``channel.banks`` for per-bank counters; the fast channel has no Bank
+    objects, so :attr:`FastChannel.banks` materialises these views on
+    demand.  Mutating a view does **not** write back to the arrays —
+    components that mutate banks (refresh) run on the object backend.
+    """
+
+    __slots__ = ("index", "open_row", "ready_cycle", "activations", "row_hits", "conflicts")
+
+    def __init__(self, index, open_row, ready_cycle, activations, row_hits, conflicts):
+        self.index = index
+        #: ``None`` when precharged, matching :class:`repro.dram.bank.Bank`
+        self.open_row = open_row
+        self.ready_cycle = ready_cycle
+        self.activations = activations
+        self.row_hits = row_hits
+        self.conflicts = conflicts
+
+    def is_open(self, row: int) -> bool:
+        return self.open_row == row
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FastBankView({self.index}, open_row={self.open_row}, "
+            f"ready={self.ready_cycle})"
+        )
+
+
+class FastChannel:
+    """One logic channel with bank state held in parallel arrays."""
+
+    __slots__ = (
+        "index",
+        "timing",
+        "num_banks",
+        "ready",
+        "open_row",
+        "hits",
+        "acts",
+        "confs",
+        "bus_free_cycle",
+        "busy_until",
+        "transactions",
+        "writes",
+        "data_cycles",
+        "_act_times",
+        "_t_rp",
+        "_t_rcd",
+        "_t_cl",
+        "_t_burst",
+        "_t_rrd",
+        "_t_faw",
+        "_t_wr",
+        "_act_tracking",
+    )
+
+    def __init__(self, index: int, num_banks: int, timing: DramTimingConfig) -> None:
+        if num_banks < 1:
+            raise ValueError("channel needs at least one bank")
+        self.index = index
+        self.timing = timing
+        self.num_banks = num_banks
+        self._t_rp = timing.t_rp
+        self._t_rcd = timing.t_rcd
+        self._t_cl = timing.t_cl
+        self._t_burst = timing.t_burst
+        self._t_rrd = timing.t_rrd
+        self._t_faw = timing.t_faw
+        self._t_wr = timing.t_wr
+        self._act_tracking = bool(timing.t_rrd or timing.t_faw)
+        #: struct-of-arrays bank state, indexed by bank number
+        self.ready = [0] * num_banks
+        self.open_row = [-1] * num_banks
+        self.hits = [0] * num_banks
+        self.acts = [0] * num_banks
+        self.confs = [0] * num_banks
+        self.bus_free_cycle: int = 0
+        self.busy_until: int = 0
+        self.transactions: int = 0
+        self.writes: int = 0
+        self.data_cycles: int = 0
+        self._act_times: deque[int] = deque(maxlen=4)
+
+    # -- queries -------------------------------------------------------------
+
+    def is_row_hit(self, bank: int, row: int) -> bool:
+        """Would a request to (bank, row) hit the open row right now?"""
+        return self.open_row[bank] == row
+
+    def earliest_issue(self, now: int) -> int:
+        """Earliest cycle the scheduler may commit another transaction."""
+        return max(now, self.busy_until)
+
+    def reset(self) -> None:
+        """Reset bus and all banks to the initial state."""
+        self.bus_free_cycle = 0
+        self.busy_until = 0
+        self.transactions = 0
+        self.writes = 0
+        self.data_cycles = 0
+        self._act_times.clear()
+        nb = self.num_banks
+        self.ready = [0] * nb
+        self.open_row = [-1] * nb
+        self.hits = [0] * nb
+        self.acts = [0] * nb
+        self.confs = [0] * nb
+
+    # -- scheduling ----------------------------------------------------------
+
+    def execute(
+        self,
+        bank_idx: int,
+        row: int,
+        now: int,
+        *,
+        is_write: bool,
+        keep_open: bool,
+    ) -> TransactionTiming:
+        """Commit one line transaction; array-backed twin of
+        :meth:`repro.dram.channel.Channel.execute` (same arithmetic, same
+        counters, same returned timing).
+
+        The fast controller inlines this body at its scheduling point;
+        this method exists for the generic :meth:`DramSystem.execute`
+        path (command-log ablations, microbenchmarks, tests).
+        """
+        ready = self.ready
+        open_row = self.open_row
+        ready_cycle = ready[bank_idx]
+        start = now if now > ready_cycle else ready_cycle
+        bank_start = start
+        hit = open_row[bank_idx] == row
+        conflict = False
+        if hit:
+            cas = start
+        else:
+            if open_row[bank_idx] != -1:
+                start += self._t_rp
+                self.confs[bank_idx] += 1
+                conflict = True
+            act = start
+            if self._act_tracking:
+                act_times = self._act_times
+                if self._t_rrd and act_times:
+                    t = act_times[-1] + self._t_rrd
+                    if t > act:
+                        act = t
+                if self._t_faw and len(act_times) == 4:
+                    t = act_times[0] + self._t_faw
+                    if t > act:
+                        act = t
+                act_times.append(act)
+            cas = act + self._t_rcd
+        data_start = cas + self._t_cl
+        if data_start < self.bus_free_cycle:
+            data_start = self.bus_free_cycle
+        data_end = data_start + self._t_burst
+        self.bus_free_cycle = data_end
+        self.busy_until = now + self._t_burst
+        if hit:
+            self.hits[bank_idx] += 1
+        else:
+            self.acts[bank_idx] += 1
+        recovery = self._t_wr if is_write else 0
+        if keep_open:
+            open_row[bank_idx] = row
+            ready[bank_idx] = data_end + recovery
+        else:
+            open_row[bank_idx] = -1
+            ready[bank_idx] = data_end + recovery + self._t_rp
+        self.transactions += 1
+        if is_write:
+            self.writes += 1
+        self.data_cycles += data_end - data_start
+        return TransactionTiming(
+            cas_cycle=cas,
+            data_start=data_start,
+            data_end=data_end,
+            row_hit=hit,
+            start_cycle=bank_start,
+            conflict=conflict,
+        )
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def banks(self) -> tuple[FastBankView, ...]:
+        """Bank-shaped read-only views over the arrays (built on demand)."""
+        return tuple(
+            FastBankView(
+                i,
+                None if self.open_row[i] == -1 else self.open_row[i],
+                self.ready[i],
+                self.acts[i],
+                self.hits[i],
+                self.confs[i],
+            )
+            for i in range(self.num_banks)
+        )
+
+    @property
+    def total_activations(self) -> int:
+        return sum(self.acts)
+
+    @property
+    def total_row_hits(self) -> int:
+        return sum(self.hits)
+
+    @property
+    def total_conflicts(self) -> int:
+        """Row-buffer conflicts (precharge forced before activate)."""
+        return sum(self.confs)
+
+    def bus_utilisation(self, now: int) -> float:
+        """Lifetime data-bus busy fraction up to ``now``."""
+        return min(self.data_cycles / now, 1.0) if now > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FastChannel({self.index}, banks={self.num_banks}, "
+            f"bus_free={self.bus_free_cycle})"
+        )
+
+
+class FastDramSystem(DramSystem):
+    """DRAM system whose channels hold struct-of-arrays bank state.
+
+    Shares the mapper, observer hook, ``execute`` dispatch and every
+    statistics property with :class:`DramSystem`; only the channel layout
+    differs.
+    """
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        topology: DramTopologyConfig,
+        timing: DramTimingConfig,
+        line_bytes: int = 64,
+    ) -> None:
+        super().__init__(topology, timing, line_bytes)
+        self.channels = [
+            FastChannel(i, topology.banks_per_channel, timing)
+            for i in range(topology.logic_channels)
+        ]

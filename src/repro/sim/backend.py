@@ -1,0 +1,68 @@
+"""Simulation-backend selection.
+
+Two engines produce bit-identical statistics (enforced by the golden
+fingerprint suite in ``tests/test_golden_stats.py``):
+
+``object``
+    The original heap-driven engine over the Bank/Channel object graph.
+    Supports every configuration, including refresh scheduling and split
+    per-channel controller groups.
+``fast``
+    Struct-of-arrays bank state + per-channel event lanes with fused
+    scheduling points (:mod:`repro.sim.fast`, :mod:`repro.dram.fast`,
+    :mod:`repro.controller.fast`).  Unsupported configurations: refresh
+    (mutates Bank objects directly) and split controllers.
+
+Selection order: an explicit ``backend=`` argument wins, else the
+``REPRO_BACKEND`` environment variable, else ``"auto"``.  ``auto`` picks
+the fast engine whenever the configuration supports it and silently
+falls back to the object engine otherwise; an *explicit* ``"fast"`` on
+an unsupported configuration raises instead of silently degrading.
+
+The CLI's ``--backend`` flag sets ``REPRO_BACKEND`` so worker processes
+spawned by the parallel and distributed runners inherit the choice.
+Because results are bit-identical, the backend is deliberately **not**
+part of experiment cell keys — cached results are valid under either.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["BACKENDS", "fast_supported", "resolve_backend"]
+
+BACKENDS = ("auto", "fast", "object")
+
+#: environment variable consulted when no explicit backend is given
+ENV_VAR = "REPRO_BACKEND"
+
+
+def fast_supported(config, controller_kind: str = "shared") -> tuple[bool, str]:
+    """Whether the fast backend can run ``config``; ``(ok, reason)``."""
+    if controller_kind != "shared":
+        return False, f"controller_kind={controller_kind!r} (fast needs 'shared')"
+    if config.controller.refresh_enabled:
+        return False, "refresh_enabled (refresh mutates Bank objects)"
+    return True, ""
+
+
+def resolve_backend(
+    requested: str | None, config, controller_kind: str = "shared"
+) -> str:
+    """Resolve a backend name to ``"fast"`` or ``"object"``.
+
+    ``requested=None`` consults ``REPRO_BACKEND`` (default ``auto``).
+    """
+    name = requested if requested is not None else os.environ.get(ENV_VAR, "auto")
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    if name == "object":
+        return "object"
+    ok, reason = fast_supported(config, controller_kind)
+    if ok:
+        return "fast"
+    if name == "fast":
+        raise ValueError(f"fast backend unsupported for this run: {reason}")
+    return "object"

@@ -32,7 +32,7 @@ class PastEventError(RuntimeError):
 class EventEngine:
     """Binary-heap discrete-event scheduler."""
 
-    __slots__ = ("now", "strict", "_heap", "_seq", "events_processed", "clamped_events")
+    __slots__ = ("now", "strict", "_heap", "_seq", "events_processed", "clamped_events", "stop_requested")
 
     def __init__(self, strict: bool = False) -> None:
         self.now: int = 0
@@ -40,6 +40,9 @@ class EventEngine:
         self._heap: list[tuple[int, int, Callable, tuple]] = []
         self._seq = 0
         self.events_processed = 0
+        #: cooperative stop: a finish hook sets this instead of making the
+        #: run loop call a predicate after every event (see MultiCoreSystem)
+        self.stop_requested = False
         #: past-cycle schedules clamped to the present (0 in a clean run)
         self.clamped_events = 0
 
@@ -47,11 +50,14 @@ class EventEngine:
         """Run ``fn(now, *args)`` at ``cycle`` (clamped to the present)."""
         if cycle <= self.now:
             if cycle < self.now:
+                # Count the clamp before a strict-mode raise: the counter
+                # is the record of causality violations, and an exception
+                # a caller swallows must not make the run look clean.
+                self.clamped_events += 1
                 if self.strict:
                     raise PastEventError(
                         f"schedule at cycle {cycle} while now={self.now}"
                     )
-                self.clamped_events += 1
             cycle = self.now
         heappush(self._heap, (cycle, self._seq, fn, args))
         self._seq += 1
@@ -129,6 +135,8 @@ class EventEngine:
                             processed += 1
                             self.events_processed = processed
                             fn(when, *args)
+                            if self.stop_requested:
+                                return
                             if until is not None and until():
                                 return
                 finally:
@@ -139,6 +147,8 @@ class EventEngine:
                 if max_cycles is not None and heap[0][0] > max_cycles:
                     return
                 self.step()
+                if self.stop_requested:
+                    return
                 if until is not None and until():
                     return
                 if (
@@ -159,3 +169,4 @@ class EventEngine:
         self._seq = 0
         self.events_processed = 0
         self.clamped_events = 0
+        self.stop_requested = False

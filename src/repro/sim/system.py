@@ -30,6 +30,7 @@ from repro.core.policy import SchedulingPolicy
 from repro.cpu.core_model import TraceCore
 from repro.cpu.trace import TraceSource
 from repro.dram.dram_system import DramSystem
+from repro.sim.backend import resolve_backend
 from repro.sim.engine import EventEngine
 from repro.telemetry.hub import Telemetry
 from repro.telemetry.sampler import Sampler
@@ -82,6 +83,7 @@ class MultiCoreSystem:
         controller_kind: str = "shared",
         policy_factory=None,
         telemetry: Telemetry | None = None,
+        backend: str | None = None,
     ) -> None:
         """``controller_kind='shared'`` is the paper's single controller;
         ``'split'`` builds one controller per logic channel (an
@@ -91,7 +93,12 @@ class MultiCoreSystem:
         ``telemetry`` attaches a :class:`~repro.telemetry.hub.Telemetry`
         hub: a periodic sampler rides the event engine and the controller
         publishes drain windows on the hub's bus.  ``None`` (the default)
-        schedules no extra events and costs nothing."""
+        schedules no extra events and costs nothing.
+
+        ``backend`` selects the simulation engine (``'auto'``/``'fast'``/
+        ``'object'``; see :mod:`repro.sim.backend`).  ``None`` consults
+        the ``REPRO_BACKEND`` environment variable, defaulting to auto.
+        Both backends produce bit-identical statistics."""
         config.validate()
         if len(traces) != config.num_cores:
             raise ValueError(
@@ -102,11 +109,31 @@ class MultiCoreSystem:
         self.target_insts = target_insts
         self.warmup_insts = warmup_insts
         self.rng = RngStream(seed, "system")
-        self.engine = EventEngine()
-        self.dram = DramSystem(
-            config.dram_topology, config.dram_timing, config.line_bytes
-        )
-        if controller_kind == "shared":
+        self.backend = resolve_backend(backend, config, controller_kind)
+        if self.backend == "fast":
+            from repro.controller.fast import FastMemoryController
+            from repro.dram.fast import FastDramSystem
+            from repro.sim.fast import FastEngine
+
+            self.engine = FastEngine()
+            self.dram = FastDramSystem(
+                config.dram_topology, config.dram_timing, config.line_bytes
+            )
+            self.controller = FastMemoryController(
+                config.controller,
+                self.dram,
+                policy,
+                config.num_cores,
+                self.engine,
+                self.rng.child("controller"),
+                line_bytes=config.line_bytes,
+                telemetry=telemetry,
+            )
+        elif controller_kind == "shared":
+            self.engine = EventEngine()
+            self.dram = DramSystem(
+                config.dram_topology, config.dram_timing, config.line_bytes
+            )
             self.controller = MemoryController(
                 config.controller,
                 self.dram,
@@ -120,6 +147,10 @@ class MultiCoreSystem:
         elif controller_kind == "split":
             from repro.controller.split import SplitControllerGroup
 
+            self.engine = EventEngine()
+            self.dram = DramSystem(
+                config.dram_topology, config.dram_timing, config.line_bytes
+            )
             if policy_factory is None:
                 raise ValueError("split controllers need a policy_factory")
             policies = [
@@ -225,6 +256,10 @@ class MultiCoreSystem:
             )
             if store is self.snapshots:
                 self._unfinished -= 1
+                if self._unfinished == 0:
+                    # Flag the engine instead of having run() evaluate an
+                    # ``until`` predicate after every event.
+                    self.engine.stop_requested = True
 
         return hook
 
@@ -275,11 +310,7 @@ class MultiCoreSystem:
             self.engine.schedule(self._online.window, self._window_tick)
         if self.sampler is not None:
             self.sampler.start()
-        self.engine.run(
-            until=lambda: self.all_finished,
-            max_cycles=max_cycles,
-            max_events=max_events,
-        )
+        self.engine.run(max_cycles=max_cycles, max_events=max_events)
         for core in self.cores:
             core.stop()
         if self.sampler is not None:

@@ -33,6 +33,7 @@ exactly like the paper's setup.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 
 from repro.cpu.trace import MemOp
@@ -321,6 +322,10 @@ _CACHE_MAX_STREAMS = 32
 
 _trace_cache: "OrderedDict[tuple, _RecordedStream]" = OrderedDict()
 
+#: guards cache lookup/insert/eviction (threaded in-process workers);
+#: recording extension has its own per-stream lock
+_trace_cache_lock = threading.Lock()
+
 
 class _RecordedStream:
     """Shared recording of one deterministic stream.
@@ -330,13 +335,17 @@ class _RecordedStream:
     the cap has taken it over.
     """
 
-    __slots__ = ("ops", "source", "app")
+    __slots__ = ("ops", "source", "app", "lock")
 
     def __init__(self, app: SyntheticApp) -> None:
         self.ops: list[MemOp] = []
         self.source: SyntheticApp | None = app
         #: kept (even after detach) for attribute passthrough
         self.app = app
+        #: serialises frontier extension: in-process distributed workers
+        #: replay the same stream from multiple threads, and an unlocked
+        #: generator pull would hand interleaved ops to the wrong cursors
+        self.lock = threading.Lock()
 
 
 class ReplayTrace:
@@ -366,19 +375,25 @@ class ReplayTrace:
         if pos < len(ops):
             self._pos = pos + 1
             return ops[pos]
-        src = rec.source
-        if src is not None and pos < _STREAM_OP_CAP:
-            op = src.next_op()
-            ops.append(op)
-            self._pos = pos + 1
-            return op
-        if src is not None:
-            # Recording is full and this consumer sits exactly at the
-            # frontier: take exclusive ownership of the positioned
-            # generator and go live.
-            rec.source = None
-            self._tail = src
-            return src.next_op()
+        with rec.lock:
+            # Re-check under the lock: another consumer thread may have
+            # extended the recording past this cursor while we waited.
+            if pos < len(ops):
+                self._pos = pos + 1
+                return ops[pos]
+            src = rec.source
+            if src is not None and pos < _STREAM_OP_CAP:
+                op = src.next_op()
+                ops.append(op)
+                self._pos = pos + 1
+                return op
+            if src is not None:
+                # Recording is full and this consumer sits exactly at the
+                # frontier: take exclusive ownership of the positioned
+                # generator and go live.
+                rec.source = None
+                self._tail = src
+                return src.next_op()
         # The generator was taken by another consumer: rebuild one and
         # fast-forward to this cursor (one-time O(pos) cost, cap-bounded
         # recordings make this path rare).
@@ -448,12 +463,13 @@ def make_trace(
     if os.environ.get("REPRO_TRACE_CACHE", "1") == "0":
         return _raw_trace(profile, seed, phase, core_id)
     key = (profile, seed, phase, core_id)
-    rec = _trace_cache.get(key)
-    if rec is None:
-        rec = _RecordedStream(_raw_trace(profile, seed, phase, core_id))
-        _trace_cache[key] = rec
-        if len(_trace_cache) > _CACHE_MAX_STREAMS:
-            _trace_cache.popitem(last=False)
-    else:
-        _trace_cache.move_to_end(key)
+    with _trace_cache_lock:
+        rec = _trace_cache.get(key)
+        if rec is None:
+            rec = _RecordedStream(_raw_trace(profile, seed, phase, core_id))
+            _trace_cache[key] = rec
+            if len(_trace_cache) > _CACHE_MAX_STREAMS:
+                _trace_cache.popitem(last=False)
+        else:
+            _trace_cache.move_to_end(key)
     return ReplayTrace(rec, key)

@@ -62,7 +62,25 @@ class TestOrdering:
         e.schedule(5, first)
         e.run()
         assert len(boom) == 1
-        assert e.clamped_events == 0  # strict mode rejects, never clamps
+
+    def test_strict_mode_counts_clamp_before_raising(self):
+        # The counter is the causality-violation record: a strict-mode
+        # rejection must still be counted, even when the caller swallows
+        # the exception — otherwise the run reports itself clean.
+        e = EventEngine(strict=True)
+        rejected = []
+
+        def first(now):
+            for back in (1, 30):
+                try:
+                    e.schedule(now - back, lambda t: None)
+                except PastEventError as exc:
+                    rejected.append(exc)
+
+        e.schedule(50, first)
+        e.run()
+        assert len(rejected) == 2
+        assert e.clamped_events == 2
 
     def test_strict_mode_allows_present_and_future(self):
         e = EventEngine(strict=True)

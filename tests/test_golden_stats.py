@@ -41,6 +41,9 @@ SEED = 7
 BUDGET = 2500
 WARMUP = 2000
 POLICIES = ("HF-RF", "ME-LREQ", "RR", "LREQ")
+#: both engines must reproduce the SAME golden file — the fingerprints
+#: are backend-independent by contract (see repro/sim/backend.py)
+BACKENDS = ("object", "fast")
 
 
 def _hex(x: float) -> str:
@@ -52,13 +55,13 @@ def _me_values(mix):
     return profiler.me_values(mix)
 
 
-def _run_fingerprint(policy: str) -> dict:
+def _run_fingerprint(policy: str, backend: str) -> dict:
     """End-of-run statistics of one multicore run through the public path."""
     mix = workload_by_name(MIX)
     me = _me_values(mix) if policy == "ME-LREQ" else None
     result = run_multicore(
         mix, policy, inst_budget=BUDGET, seed=SEED,
-        warmup_insts=WARMUP, me_values=me,
+        warmup_insts=WARMUP, me_values=me, backend=backend,
     )
     return {
         "end_cycle": result.end_cycle,
@@ -79,11 +82,14 @@ def _run_fingerprint(policy: str) -> dict:
     }
 
 
-def _deep_fingerprint() -> dict:
+def _deep_fingerprint(backend: str) -> dict:
     """Internal counters of one assembled system (HF-RF), beyond RunResult.
 
     Catches drift that the run-level statistics could mask: event counts,
     per-bank row-buffer behaviour, cache/MSHR traffic, write drains.
+    The engine counters (``events_processed``/``clamped_events``) are
+    part of the fingerprint, so the fast engine's lane dispatch must
+    count events exactly like the object engine's heap loop.
     """
     mix = workload_by_name(MIX)
     cfg = SystemConfig().with_cores(mix.num_cores)
@@ -93,7 +99,7 @@ def _deep_fingerprint() -> dict:
     ]
     system = MultiCoreSystem(
         cfg, make_policy("HF-RF"), traces, BUDGET,
-        warmup_insts=WARMUP, seed=SEED,
+        warmup_insts=WARMUP, seed=SEED, backend=backend,
     )
     system.run()
     st = system.controller.stats
@@ -149,14 +155,14 @@ def _deep_fingerprint() -> dict:
     }
 
 
-def _current_snapshot() -> dict:
+def _current_snapshot(backend: str) -> dict:
     return {
         "mix": MIX,
         "seed": SEED,
         "budget": BUDGET,
         "warmup": WARMUP,
-        "runs": {p: _run_fingerprint(p) for p in POLICIES},
-        "deep": _deep_fingerprint(),
+        "runs": {p: _run_fingerprint(p, backend) for p in POLICIES},
+        "deep": _deep_fingerprint(backend),
     }
 
 
@@ -178,9 +184,10 @@ def _diff_paths(expected, actual, prefix=""):
     return diffs
 
 
-@pytest.fixture(scope="module")
-def snapshot():
-    return _current_snapshot()
+@pytest.fixture(scope="module", params=BACKENDS)
+def snapshot(request):
+    """One snapshot per backend; every test below runs against both."""
+    return request.param, _current_snapshot(request.param)
 
 
 def test_golden_snapshot_exists():
@@ -190,21 +197,25 @@ def test_golden_snapshot_exists():
 
 
 def test_golden_stats_bit_identical(snapshot):
+    backend, snap = snapshot
     if os.environ.get("REPRO_REGEN_GOLDEN"):
+        if backend != "object":
+            pytest.skip("golden file is regenerated from the object backend")
         GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-        GOLDEN_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+        GOLDEN_PATH.write_text(json.dumps(snap, indent=2) + "\n")
         pytest.skip(f"regenerated {GOLDEN_PATH}")
     golden = json.loads(GOLDEN_PATH.read_text())
-    diffs = _diff_paths(golden, snapshot)
+    diffs = _diff_paths(golden, snap)
     assert not diffs, (
-        "simulation statistics drifted from the golden snapshot "
-        "(an optimization changed simulated behaviour):\n  "
-        + "\n  ".join(diffs[:40])
+        f"simulation statistics drifted from the golden snapshot under the "
+        f"{backend!r} backend (an optimization changed simulated "
+        "behaviour):\n  " + "\n  ".join(diffs[:40])
     )
 
 
 def test_policies_distinguishable(snapshot):
     """Sanity: the four policies do not collapse onto identical outcomes
     (a snapshot of four identical runs would pin nothing)."""
-    cycles = {p: snapshot["runs"][p]["end_cycle"] for p in POLICIES}
+    _backend, snap = snapshot
+    cycles = {p: snap["runs"][p]["end_cycle"] for p in POLICIES}
     assert len(set(cycles.values())) > 1, cycles
