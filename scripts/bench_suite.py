@@ -21,8 +21,14 @@ Naming convention (docs/PERFORMANCE.md): ad-hoc runs write
 reading); a baseline worth keeping is renamed to ``BENCH_PR<n>.json``
 and committed — those files are immutable once landed.
 
+``--profile [BASE]`` adds one extra cProfile'd pass of the primary run
+config *after* the timed entries (so profiling never skews the
+timings), writes ``BASE.pstats`` + ``BASE.folded`` (collapsed stacks
+for flamegraph tools), and embeds the top hot functions in the
+artifact under ``profile``.
+
 Run:  PYTHONPATH=src python scripts/bench_suite.py \
-          [--budget N] [--repeats N] [--out PATH]
+          [--budget N] [--repeats N] [--out PATH] [--profile [BASE]]
 """
 
 import argparse
@@ -170,6 +176,13 @@ def main() -> int:
                          "working-copy convention; committed baselines "
                          "are renamed BENCH_PR<n>.json, see "
                          "docs/PERFORMANCE.md)")
+    ap.add_argument("--profile", nargs="?", const="BENCH_profile",
+                    metavar="BASE",
+                    help="after the timed entries, run one cProfile'd "
+                         "pass of the primary config; writes "
+                         "BASE.pstats + BASE.folded (default BASE: "
+                         "%(const)s) and embeds the top functions in "
+                         "the artifact")
     args = ap.parse_args()
 
     mix = workload_by_name("4MEM-1")
@@ -232,6 +245,22 @@ def main() -> int:
         "machine": platform.machine(),
         "entries": entries,
     }
+
+    if args.profile:
+        # Separate profiled pass *after* every timed entry: cProfile
+        # perturbs timings, so it must never share a pass with them.
+        from repro.telemetry.profiling import EngineProfiler
+
+        with EngineProfiler(args.profile, top_n=15) as prof:
+            run_multicore(mix, "HF-RF", inst_budget=args.budget,
+                          seed=args.seed)
+        doc["profile"] = {
+            "config": {"workload": "4MEM-1", "policy": "HF-RF",
+                       "budget": args.budget, "seed": args.seed},
+            "top": prof.top,
+            "pstats": prof.pstats_path,
+            "folded": prof.folded_path,
+        }
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
@@ -245,6 +274,10 @@ def main() -> int:
             print(f"{'':<{width}}  cold   {e['cache_line']}")
             print(f"{'':<{width}}  cached {e['cached_cache_line']} "
                   f"({e['cached_seconds']:.3f} s)")
+    if args.profile:
+        print(f"profile pass (4MEM-1 / HF-RF @ {args.budget}):")
+        print(prof.format_top(), end="")
+        print(f"wrote {prof.pstats_path} and {prof.folded_path}")
     print(f"wrote {args.out}")
     return 0
 

@@ -14,8 +14,17 @@ docs/DISTRIBUTED.md end to end:
 2. **CLI byte-identity** — ``repro submit <addr> figure2`` must print
    byte-for-byte what the serial ``repro figure 2`` prints.
 
-Exits non-zero on any mismatch.  Used by the ``distributed-smoke`` CI
-job; runnable locally with no arguments.
+``--fleet-obs`` runs the same cluster with fleet observability enabled
+(coordinator ``--telemetry`` + trace/metrics/Prometheus outputs, worker
+fleet traces), so the golden and byte-identity legs double as the
+*observability-enabled* bit-identity gate; after shutdown it asserts
+the metrics JSONL and Prometheus snapshots are well-formed and
+non-empty, and runs ``repro obs merge-trace`` over the per-process
+traces, requiring coordinator lease slices and worker cell slices that
+share one ``run_id`` in the merged Chrome trace.
+
+Exits non-zero on any mismatch.  Used by the ``distributed-smoke`` and
+``observability-smoke`` CI jobs; runnable locally with no arguments.
 """
 
 from __future__ import annotations
@@ -59,10 +68,25 @@ def _cli(*argv: str) -> list[str]:
     return [sys.executable, "-m", "repro", *argv]
 
 
-def start_cluster(store: str, n_workers: int):
-    """``repro serve`` + workers as real subprocesses; returns addr."""
+def start_cluster(store: str, n_workers: int, obs_dir: str | None = None):
+    """``repro serve`` + workers as real subprocesses; returns addr.
+
+    With ``obs_dir`` set, the whole cluster runs with fleet
+    observability on: the coordinator records a fleet trace, metrics
+    JSONL and a Prometheus snapshot there, and each worker records its
+    own fleet trace.
+    """
+    serve_obs = []
+    if obs_dir is not None:
+        serve_obs = [
+            "--telemetry",
+            "--trace-out", os.path.join(obs_dir, "coord.fleet.jsonl"),
+            "--metrics-out", os.path.join(obs_dir, "metrics.jsonl"),
+            "--prometheus-out", os.path.join(obs_dir, "fleet.prom"),
+            "--sample-every", "0.5",
+        ]
     serve = subprocess.Popen(
-        _cli("serve", "--port", "0", "--store", store),
+        _cli("serve", "--port", "0", "--store", store, *serve_obs),
         stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
         text=True, env=_env(), cwd=ROOT,
     )
@@ -75,7 +99,11 @@ def start_cluster(store: str, n_workers: int):
     workers = [
         subprocess.Popen(
             _cli("worker", addr, "--id", f"smoke-w{i}",
-                 "--connect-retries", "20"),
+                 "--connect-retries", "20",
+                 *([] if obs_dir is None else
+                   ["--trace-out",
+                    os.path.join(obs_dir, f"w{i}.fleet.jsonl"),
+                    "--sample-every", "0.5"])),
             stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
             env=_env(), cwd=ROOT,
         )
@@ -153,19 +181,73 @@ def check_cli_byte_identity(addr: str, budget: int) -> None:
           f"output identical (serial, distributed, and --backend fast)")
 
 
+def check_fleet_artifacts(obs_dir: str, n_workers: int) -> None:
+    """Post-shutdown fleet-observability assertions (--fleet-obs only)."""
+    metrics_path = os.path.join(obs_dir, "metrics.jsonl")
+    snaps = [json.loads(line)
+             for line in Path(metrics_path).read_text().splitlines()]
+    assert snaps, "metrics JSONL is empty"
+    run_ids = {s["run_id"] for s in snaps}
+    assert len(run_ids) == 1, f"metrics snapshots span runs: {run_ids}"
+    final = snaps[-1]
+    assert final["instruments"], "final metrics snapshot has no instruments"
+    completed = final["instruments"].get("fleet.lease.completed", {})
+    assert completed.get("value", 0) > 0, \
+        f"no completed leases recorded: {completed}"
+
+    prom = Path(os.path.join(obs_dir, "fleet.prom")).read_text()
+    fleet_lines = [ln for ln in prom.splitlines()
+                   if ln.startswith("repro_fleet_")]
+    assert fleet_lines, "Prometheus snapshot has no repro_fleet_ series"
+    for ln in fleet_lines:
+        float(ln.rsplit(" ", 1)[1])  # every sample parses as a number
+
+    traces = [os.path.join(obs_dir, "coord.fleet.jsonl")] + [
+        os.path.join(obs_dir, f"w{i}.fleet.jsonl") for i in range(n_workers)]
+    merged_path = os.path.join(obs_dir, "merged.trace.json")
+    subprocess.run(
+        _cli("obs", "merge-trace", *traces, "--out", merged_path),
+        capture_output=True, text=True, env=_env(), cwd=ROOT, check=True,
+    )
+    merged = json.loads(Path(merged_path).read_text())
+    events = merged["traceEvents"]
+    leases = [e for e in events
+              if e.get("ph") == "B" and e["name"].startswith("lease ")]
+    cells = [e for e in events
+             if e.get("ph") == "B" and e["name"].startswith("cell ")]
+    assert leases, "merged trace has no coordinator lease slices"
+    assert cells, "merged trace has no worker cell slices"
+    merged_run = merged["otherData"]["run_id"]
+    assert merged_run in run_ids, \
+        f"merged-trace run {merged_run} != metrics run {run_ids}"
+    print(f"fleet artifacts: {len(snaps)} metric snapshots, "
+          f"{len(fleet_lines)} Prometheus series, merged trace has "
+          f"{len(leases)} lease + {len(cells)} cell slices on run "
+          f"{merged_run}")
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--workers", type=int, default=2)
     ap.add_argument("--budget", type=int, default=2000,
                     help="budget for the CLI byte-identity leg")
+    ap.add_argument("--fleet-obs", action="store_true",
+                    help="enable fleet observability on the cluster and "
+                         "assert its artifacts after shutdown")
     args = ap.parse_args(argv)
 
     t0 = time.time()
-    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as store:
-        serve, workers, addr = start_cluster(store, args.workers)
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as td:
+        store = os.path.join(td, "store")
+        obs_dir = None
+        if args.fleet_obs:
+            obs_dir = os.path.join(td, "obs")
+            os.makedirs(obs_dir)
+        serve, workers, addr = start_cluster(store, args.workers, obs_dir)
         try:
             print(f"cluster: coordinator {addr}, {len(workers)} workers, "
-                  f"store {store}")
+                  f"store {store}"
+                  + (", fleet observability on" if obs_dir else ""))
             check_golden(addr)
             check_cli_byte_identity(addr, args.budget)
         finally:
@@ -182,6 +264,8 @@ def main(argv=None) -> int:
                 serve.wait(timeout=30)
             except subprocess.TimeoutExpired:
                 serve.kill()
+        if obs_dir is not None:
+            check_fleet_artifacts(obs_dir, args.workers)
     print(f"distributed smoke OK in {time.time() - t0:.0f}s")
     return 0
 

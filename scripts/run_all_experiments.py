@@ -276,6 +276,51 @@ def prewarm(ctx, sections, args) -> None:
     merge_into(ctx, report)
 
 
+def _end_of_run_summary(args, cache) -> None:
+    """Cache and store accounting, printed to stderr after the tables.
+
+    Shows where results came from: the local ``.repro-cache/`` counters
+    always, and — on a ``--coordinator`` run — the coordinator's
+    lifetime stats plus its ResultStore hit/miss/verify counters (from
+    the fleet metrics snapshot when ``repro serve --telemetry`` is on,
+    from the basic status stats otherwise).
+    """
+    lines = ["== end-of-run summary =="]
+    if cache is not None:
+        lines.append(f"local {cache.stats.line()}  "
+                     f"[{cache.root}, mode {cache.mode}]")
+    else:
+        lines.append("local cache: disabled (--no-cache)")
+    if args.coordinator:
+        from repro.service.client import coordinator_status
+
+        try:
+            doc = coordinator_status(args.coordinator)
+        except (OSError, RuntimeError) as exc:
+            lines.append(f"coordinator {args.coordinator}: "
+                         f"status unavailable ({exc})")
+        else:
+            s = doc.get("stats", {})
+            run = f" (run {doc['run_id']})" if doc.get("run_id") else ""
+            lines.append(
+                f"coordinator {args.coordinator}{run}: "
+                f"{s.get('results', 0)} results, "
+                f"{s.get('hits', 0)} store hits, "
+                f"{s.get('sha_mismatch', 0)} corrupt payloads, "
+                f"{s.get('expired', 0)} expired leases, "
+                f"{s.get('failed_cells', 0)} failed cells")
+            inst = (doc.get("fleet") or {}).get("instruments") or {}
+            if inst:
+                def val(name):
+                    return inst.get(name, {}).get("value", 0)
+
+                lines.append(
+                    f"coordinator store: {val('fleet.store.hits')} hits, "
+                    f"{val('fleet.store.misses')} misses, "
+                    f"{val('fleet.store.verify_failures')} verify failures")
+    print("\n".join(lines), file=sys.stderr)
+
+
 def _main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--budget", type=int, default=30_000)
@@ -356,8 +401,7 @@ def _main(argv=None) -> int:
             section_ablations(ctx, out, stable=stable)
     if not stable:
         out.append(f"\n_Total wall time: {time.time()-t0:.0f}s._")
-    if cache is not None:
-        print(cache.stats.line(), file=sys.stderr)
+    _end_of_run_summary(args, cache)
     text = "\n".join(out)
     print(text)
     if args.out:

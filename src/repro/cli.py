@@ -16,6 +16,12 @@ Distributed sweeps (docs/DISTRIBUTED.md):
 * ``worker``    — attach a worker process to a coordinator;
 * ``submit``    — run a figure/table sweep on a coordinator and render
                   it exactly as the serial command would (byte-identical).
+
+Fleet observability (docs/OBSERVABILITY.md): ``serve``/``worker`` accept
+``--telemetry``/``--trace-out`` to record fleet metrics and wall-clock
+traces, ``submit --watch`` renders a live progress dashboard, ``obs
+merge-trace`` stitches per-process traces into one Perfetto timeline,
+and ``run``/``profile`` accept ``--profile`` to cProfile the engine.
 """
 
 from __future__ import annotations
@@ -80,16 +86,38 @@ def _add_parallel(p: argparse.ArgumentParser) -> None:
                    help="result cache directory (default: .repro-cache)")
 
 
+def _engine_profiler(args: argparse.Namespace):
+    """``--profile [BASE]`` -> an EngineProfiler, or a no-op context."""
+    import contextlib
+
+    if getattr(args, "profile", None) is None:
+        return contextlib.nullcontext(None)
+    from repro.telemetry import EngineProfiler
+
+    return EngineProfiler(args.profile)
+
+
+def _report_profile(prof) -> None:
+    if prof is None:
+        return
+    print()
+    print(prof.format_top(), end="")
+    print(f"profile: {prof.pstats_path} (pstats), "
+          f"{prof.folded_path} (collapsed stacks)")
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     prof = MeProfiler(inst_budget=args.budget, seed=args.seed)
     apps = [app_by_name(args.app)] if args.app else list(APPS)
-    print(f"{'app':<9} {'class':<5} {'IPC':>6} {'BW GB/s':>8} {'ME':>10}")
-    for app in apps:
-        p = prof.profile(app)
-        print(
-            f"{p.app:<9} {app.klass:<5} {p.ipc:>6.2f} {p.bw_gbps:>8.3f} "
-            f"{p.me:>10.3f}"
-        )
+    with _engine_profiler(args) as eng:
+        print(f"{'app':<9} {'class':<5} {'IPC':>6} {'BW GB/s':>8} {'ME':>10}")
+        for app in apps:
+            p = prof.profile(app)
+            print(
+                f"{p.app:<9} {app.klass:<5} {p.ipc:>6.2f} {p.bw_gbps:>8.3f} "
+                f"{p.me:>10.3f}"
+            )
+    _report_profile(eng)
     return 0
 
 
@@ -158,10 +186,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     me = prof.me_values(mix)
     single = prof.single_ipcs(mix)
     tm = _make_telemetry(args)
-    result = run_multicore(
-        mix, args.policy, inst_budget=args.budget, seed=args.seed, me_values=me,
-        telemetry=tm,
-    )
+    with _engine_profiler(args) as eng:
+        result = run_multicore(
+            mix, args.policy, inst_budget=args.budget, seed=args.seed,
+            me_values=me, telemetry=tm,
+        )
     print(f"workload {mix.name} under {result.policy_name}")
     for c, s in zip(result.per_core, single):
         print(
@@ -174,6 +203,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"row-hit rate = {result.row_hit_rate:.1%}")
     if tm is not None:
         _export_telemetry(tm, args)
+    _report_profile(eng)
     return 0
 
 
@@ -271,18 +301,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     bus.subscribe(narrate)
 
+    observer = None
+    if (args.telemetry or args.trace_out or args.metrics_out
+            or args.prometheus_out):
+        from repro.telemetry.fleet import FleetObserver
+
+        observer = FleetObserver(
+            trace_out=args.trace_out,
+            metrics_out=args.metrics_out,
+            prometheus_out=args.prometheus_out,
+            snapshot_every=args.sample_every,
+        )
+
     async def serve() -> Coordinator:
         coord = Coordinator(
             host=args.host, port=args.port, store=store,
             lease_seconds=args.lease, max_attempts=args.max_attempts,
-            bus=bus,
+            bus=bus, observer=observer,
         )
         await coord.start()
         print(f"serving on {coord.host}:{coord.port} "
               f"(fingerprint {coord.fingerprint}, "
               f"store {'off' if store is None else store.root}, "
               f"lease {args.lease:g}s, "
-              f"max attempts {args.max_attempts})", flush=True)
+              f"max attempts {args.max_attempts}, "
+              f"run {coord.run_id})", flush=True)
         try:
             await coord.wait_stopped()
         finally:
@@ -304,12 +347,19 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     host, port = parse_addr(args.coordinator)
     store = (ResultStore(root=args.store, mode="rw")
              if args.store else None)
+    trace_out = args.trace_out
+    if trace_out is None and args.telemetry:
+        trace_out = f"fleet-worker-{args.id or os.getpid()}.jsonl"
     stats = asyncio.run(run_worker(
         host, port, worker_id=args.id, store=store,
         connect_retries=args.connect_retries,
+        trace_out=trace_out,
+        snapshot_seconds=args.sample_every if trace_out else None,
     ))
     print(f"worker done: {stats['executed']} executed, "
           f"{stats['hits']} store hits, {stats['failed']} failed")
+    if trace_out:
+        print(f"fleet trace: {trace_out}", file=sys.stderr)
     return 0
 
 
@@ -331,6 +381,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"workers: {', '.join(doc['workers']) or '(none)'}")
         print(f"tasks:   {doc['tasks']}")
         print(f"stats:   {doc['stats']}")
+        if doc.get("run_id"):
+            print(f"run:     {doc['run_id']}")
+        if doc.get("fleet"):
+            from repro.telemetry.fleet import render_dashboard
+
+            done = doc["tasks"].get("done", 0)
+            total = sum(doc["tasks"].values())
+            print(render_dashboard(doc, done, total))
         return 0
 
     ctx = _make_ctx(args)
@@ -353,11 +411,44 @@ def _cmd_submit(args: argparse.Namespace) -> int:
               file=sys.stderr)
 
     bus.subscribe(narrate)
-    report = submit_cells(args.coordinator, cells, bus=bus)
+    trace_events: list[tuple[float, dict]] = []
+    if args.trace_out or args.telemetry:
+        import time as _time
+
+        def record(ev):
+            if ev.name == "experiment.cell":
+                trace_events.append((_time.time(), dict(ev.args)))
+
+        bus.subscribe(record)
+    watch_seconds = args.sample_every if args.watch else None
+    report = submit_cells(args.coordinator, cells, bus=bus,
+                          watch_seconds=watch_seconds)
     if report.failures:
         print(report.failure_report(), file=sys.stderr)
     merge_into(ctx, report)
     print(report.summary(), file=sys.stderr)
+    if report.run_id:
+        print(f"run: {report.run_id}", file=sys.stderr)
+    if args.trace_out and report.run_id:
+        # Client-lane fleet trace: one instant per completed cell, so the
+        # merged timeline shows when results landed back at the client.
+        from repro.telemetry.fleet import FleetTraceWriter
+
+        trace = FleetTraceWriter(args.trace_out, role="client",
+                                 run_id=report.run_id)
+        for t, a in trace_events:
+            trace.event(f"cell {a['key'].split(':cfg=')[0]}", "i",
+                        track="cells", t=t, status=a["status"],
+                        done=a["done"], total=a["total"])
+        trace.close(cells=len(trace_events))
+        print(f"fleet trace: {args.trace_out}", file=sys.stderr)
+    if args.telemetry:
+        doc = coordinator_status(args.coordinator)
+        if doc.get("fleet"):
+            from repro.telemetry.fleet import render_dashboard
+
+            print(render_dashboard(doc, len(report.results), len(cells)),
+                  file=sys.stderr)
 
     if args.section == "table2":
         print(format_table2(run_table2(ctx)))
@@ -370,6 +461,25 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(format_figure4(run_figure4(ctx)))
     elif args.section == "figure5":
         print(format_figure5(run_figure5(ctx)))
+    return 0
+
+
+def _cmd_obs_merge(args: argparse.Namespace) -> int:
+    from repro.telemetry.fleet import write_merged_trace
+
+    doc = write_merged_trace(args.traces, args.out)
+    other = doc["otherData"]
+    n_events = sum(1 for e in doc["traceEvents"]
+                   if e.get("ph") in ("B", "E", "i", "C"))
+    print(f"run {other['run_id']}: merged {len(other['sources'])} traces, "
+          f"{n_events} events -> {args.out}")
+    for s in other["sources"]:
+        label = s["role"] + (f" {s['worker_id']}" if s.get("worker_id")
+                             else "")
+        print(f"  pid {s['pid']}  {label:<24} {s['events']:>6} events  "
+              f"{s['path']}")
+    print("open in https://ui.perfetto.dev (lanes = processes, "
+          "slices = leases/cells, gaps = idle)")
     return 0
 
 
@@ -393,9 +503,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = ap.add_subparsers(dest="command", required=True)
 
+    def add_engine_profile(p):
+        p.add_argument("--profile", nargs="?", const="profile",
+                       metavar="BASE",
+                       help="cProfile the engine: write BASE.pstats and "
+                            "BASE.folded (collapsed stacks) and print the "
+                            "top functions by cumulative time "
+                            "(default BASE: 'profile')")
+
     p = sub.add_parser("profile", help="single-core ME profiling")
     _add_common(p)
     p.add_argument("--app", help="benchmark name (default: all 26)")
+    add_engine_profile(p)
     p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("run", help="run one workload under one policy")
@@ -425,6 +544,7 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--spans-out", metavar="PATH",
                    help="write traced spans + attribution as JSONL; "
                         "implies --spans")
+    add_engine_profile(p)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -467,6 +587,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attempts per cell before it is reported failed")
     p.add_argument("--verbose", action="store_true",
                    help="also narrate per-cell service events")
+    g = p.add_argument_group("fleet observability (docs/OBSERVABILITY.md)")
+    g.add_argument("--telemetry", action="store_true",
+                   help="collect fleet metrics (lease/queue/worker "
+                        "counters) and serve them via status requests")
+    g.add_argument("--trace-out", metavar="PATH",
+                   help="record coordinator lease slices as a fleet trace "
+                        "(JSONL; merge with 'repro obs merge-trace'); "
+                        "implies --telemetry")
+    g.add_argument("--metrics-out", metavar="PATH",
+                   help="append periodic metrics snapshots as JSONL; "
+                        "implies --telemetry")
+    g.add_argument("--prometheus-out", metavar="PATH",
+                   help="write the latest snapshot in Prometheus text "
+                        "format (textfile-collector ready); implies "
+                        "--telemetry")
+    g.add_argument("--sample-every", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="metrics snapshot period (default 5)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("worker", help="attach a sweep worker")
@@ -477,6 +615,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--connect-retries", type=int, default=10, metavar="N",
                    help="retry the initial connection N times, 0.5s apart "
                         "(default 10 — lets the worker start first)")
+    g = p.add_argument_group("fleet observability (docs/OBSERVABILITY.md)")
+    g.add_argument("--telemetry", action="store_true",
+                   help="record a fleet trace of executed cells "
+                        "(default file: fleet-worker-<id>.jsonl)")
+    g.add_argument("--trace-out", metavar="PATH",
+                   help="fleet trace file (JSONL; merge with "
+                        "'repro obs merge-trace'); implies --telemetry")
+    g.add_argument("--sample-every", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="progress-snapshot period in the trace (default 30)")
     p.set_defaults(fn=_cmd_worker)
 
     p = sub.add_parser(
@@ -495,7 +643,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the coordinator's status and exit")
     p.add_argument("--stop", action="store_true",
                    help="shut the coordinator down and exit")
+    g = p.add_argument_group("fleet observability (docs/OBSERVABILITY.md)")
+    g.add_argument("--watch", action="store_true",
+                   help="live dashboard on stderr while the job runs "
+                        "(progress bar + worker table; needs a coordinator "
+                        "started with --telemetry for the worker table)")
+    g.add_argument("--telemetry", action="store_true",
+                   help="print the coordinator's fleet snapshot after the "
+                        "job completes")
+    g.add_argument("--trace-out", metavar="PATH",
+                   help="record result arrivals as a client-lane fleet "
+                        "trace (JSONL; merge with 'repro obs merge-trace')")
+    g.add_argument("--sample-every", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="--watch refresh period (default 1)")
     p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "obs", help="fleet observability utilities (docs/OBSERVABILITY.md)")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    m = obs_sub.add_parser(
+        "merge-trace",
+        help="stitch per-process fleet traces (coordinator + workers + "
+             "client) into one Chrome/Perfetto timeline")
+    m.add_argument("traces", nargs="+", metavar="TRACE",
+                   help="fleet trace JSONL files from one run "
+                        "(same run_id)")
+    m.add_argument("--out", default="fleet.trace.json", metavar="PATH",
+                   help="merged Chrome trace (default: %(default)s)")
+    m.set_defaults(fn=_cmd_obs_merge)
 
     return ap
 

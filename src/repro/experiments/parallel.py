@@ -85,6 +85,9 @@ class ParallelReport:
     cache_hits: int = 0
     seconds: float = 0.0
     pool_broken: bool = False
+    #: fleet-run correlation id (minted per run_cells invocation, or the
+    #: coordinator's id when the report came over the wire)
+    run_id: str | None = None
 
     def summary(self) -> str:
         parts = [
@@ -350,6 +353,8 @@ def run_cells(
     hits return bit-exact payloads, and ME vectors are resolved from the
     profile round so workers reproduce the serial numbers exactly.
     """
+    from repro.telemetry.fleet import ENV_RUN_ID, new_run_id
+
     t0 = time.perf_counter()
     unique: dict[CellKey, Cell] = {}
     for cell in cells:
@@ -357,6 +362,15 @@ def run_cells(
     ordered = sorted(unique.values(), key=lambda c: c.key.key_str())
 
     report = ParallelReport()
+    # Correlation id for this sweep: pool children inherit the parent's
+    # environment at fork/spawn time, so setting it before any pool is
+    # created stamps every exporter artifact (run_metadata "fleet"
+    # section) written by any process of this run.  An id inherited from
+    # an enclosing fleet context wins — we are then part of *that* run.
+    inherited = os.environ.get(ENV_RUN_ID)
+    report.run_id = inherited or new_run_id()
+    if inherited is None:
+        os.environ[ENV_RUN_ID] = report.run_id
     results: dict[CellKey, object] = {}
     progress = _Progress(bus, total=len(ordered))
 
@@ -364,50 +378,54 @@ def run_cells(
         [c for c in ordered if c.key.kind in ("profile", "single")],
         [c for c in ordered if c.key.kind in ("eval", "custom")],
     )
-    for round_cells in rounds:
-        todo: list[Cell] = []
-        for cell in round_cells:
-            hit = cache.get(cell.key) if cache is not None else None
-            if hit is not None:
-                results[cell.key] = hit
-                report.cache_hits += 1
-                progress.emit(cell.key, "hit", 0.0)
+    try:
+        for round_cells in rounds:
+            todo: list[Cell] = []
+            for cell in round_cells:
+                hit = cache.get(cell.key) if cache is not None else None
+                if hit is not None:
+                    results[cell.key] = hit
+                    report.cache_hits += 1
+                    progress.emit(cell.key, "hit", 0.0)
+                else:
+                    todo.append(cell)
+
+            ready: list[Cell] = []
+            for cell in todo:
+                if cell.key.policy in ME_FAMILY and cell.me_values is None:
+                    try:
+                        me = tuple(results[dep].me for dep in cell.me_deps)
+                    except KeyError:
+                        report.failures.append(CellFailure(
+                            cell.key.key_str(),
+                            "dependency failed: missing ME profile", 0,
+                        ))
+                        progress.emit(cell.key, "failed", 0.0)
+                        continue
+                    cell = cell.with_me_values(me)
+                ready.append(cell)
+
+            before = dict(results)
+            if not ready:
+                pass
+            elif jobs <= 1 or len(ready) == 1:
+                report.executed += _run_round_serial(
+                    ready, progress, report.failures, report.retried, results
+                )
             else:
-                todo.append(cell)
-
-        ready: list[Cell] = []
-        for cell in todo:
-            if cell.key.policy in ME_FAMILY and cell.me_values is None:
-                try:
-                    me = tuple(results[dep].me for dep in cell.me_deps)
-                except KeyError:
-                    report.failures.append(CellFailure(
-                        cell.key.key_str(),
-                        "dependency failed: missing ME profile", 0,
-                    ))
-                    progress.emit(cell.key, "failed", 0.0)
-                    continue
-                cell = cell.with_me_values(me)
-            ready.append(cell)
-
-        before = dict(results)
-        if not ready:
-            pass
-        elif jobs <= 1 or len(ready) == 1:
-            report.executed += _run_round_serial(
-                ready, progress, report.failures, report.retried, results
-            )
-        else:
-            executed, broken = _run_round_pool(
-                ready, jobs, progress, report.failures, report.retried,
-                results,
-            )
-            report.executed += executed
-            report.pool_broken = report.pool_broken or broken
-        if cache is not None:
-            for cell in ready:
-                if cell.key not in before and cell.key in results:
-                    cache.put(cell.key, results[cell.key])
+                executed, broken = _run_round_pool(
+                    ready, jobs, progress, report.failures, report.retried,
+                    results,
+                )
+                report.executed += executed
+                report.pool_broken = report.pool_broken or broken
+            if cache is not None:
+                for cell in ready:
+                    if cell.key not in before and cell.key in results:
+                        cache.put(cell.key, results[cell.key])
+    finally:
+        if inherited is None:
+            os.environ.pop(ENV_RUN_ID, None)
 
     report.results = dict(
         sorted(results.items(), key=lambda kv: kv[0].key_str())

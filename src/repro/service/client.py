@@ -19,6 +19,7 @@ parallel runner emits, so existing subscribers (the stderr narrator of
 from __future__ import annotations
 
 import asyncio
+import sys
 import time
 
 from repro.experiments.cells import Cell, CellKey
@@ -52,8 +53,38 @@ async def _open(host: str, port: int):
         "t": "hello", "role": "client", "protocol": PROTOCOL_VERSION,
         "fingerprint": code_fingerprint(),
     })
-    expect(await read_msg(reader), "welcome")
-    return reader, writer
+    welcome = expect(await read_msg(reader), "welcome")
+    return reader, writer, welcome
+
+
+async def _watch_loop(host: str, port: int, progress: dict,
+                      interval: float, out=None) -> None:
+    """``repro submit --watch``: poll status, redraw the dashboard.
+
+    Runs on its own connection so the job stream stays untouched.  On a
+    TTY each frame overwrites the last (ANSI cursor-up); on a pipe the
+    frames are simply appended, which is still a usable progress log.
+    """
+    from repro.telemetry.fleet import render_dashboard
+
+    out = out if out is not None else sys.stderr
+    tty = getattr(out, "isatty", lambda: False)()
+    prev_lines = 0
+    while True:
+        await asyncio.sleep(interval)
+        try:
+            status = await _simple_request(host, port, {"t": "status"},
+                                           "status_reply")
+        except (OSError, ServiceError):
+            continue  # coordinator busy or briefly unreachable; retry
+        frame = render_dashboard(status, progress["done"],
+                                 progress["total"])
+        n_lines = frame.count("\n") + 1
+        if tty and prev_lines:
+            out.write("\x1b[F\x1b[K" * prev_lines)
+        out.write(frame + "\n")
+        out.flush()
+        prev_lines = n_lines if tty else 0
 
 
 async def submit_cells_async(
@@ -62,8 +93,14 @@ async def submit_cells_async(
     cells: list[Cell],
     *,
     bus: TelemetryBus | None = None,
+    watch_seconds: float | None = None,
 ) -> ParallelReport:
-    """Submit cells to a running coordinator and await every result."""
+    """Submit cells to a running coordinator and await every result.
+
+    ``watch_seconds`` enables the live dashboard: a sidecar connection
+    polls coordinator status every that-many seconds and renders the
+    progress bar + worker table to stderr until the job completes.
+    """
     t0 = time.perf_counter()
     unique: dict[CellKey, Cell] = {}
     for cell in cells:
@@ -73,7 +110,10 @@ async def submit_cells_async(
 
     report = ParallelReport()
     results: dict[CellKey, object] = {}
-    reader, writer = await _open(host, port)
+    reader, writer, welcome = await _open(host, port)
+    report.run_id = welcome.get("run_id")
+    progress = {"done": 0, "total": len(ordered)}
+    watcher: asyncio.Task | None = None
     try:
         await send_msg(writer, {
             "t": "submit",
@@ -81,6 +121,10 @@ async def submit_cells_async(
         })
         accepted = expect(await read_msg(reader), "accepted")
         total = accepted["total"]
+        progress["total"] = total
+        if watch_seconds is not None:
+            watcher = asyncio.create_task(
+                _watch_loop(host, port, progress, watch_seconds))
         done = 0
         while True:
             msg = await read_msg(reader)
@@ -100,6 +144,7 @@ async def submit_cells_async(
                     )
                 results[key] = decode_payload(payload)
                 done += 1
+                progress["done"] = done
                 status = msg.get("status", "run")
                 if status == "hit":
                     report.cache_hits += 1
@@ -115,6 +160,7 @@ async def submit_cells_async(
             elif t == "cell_failed":
                 key = by_digest[msg["key"]]
                 done += 1
+                progress["done"] = done
                 report.failures.append(CellFailure(
                     key.key_str(), str(msg.get("error", "failed")),
                     int(msg.get("attempts", 0)),
@@ -129,6 +175,12 @@ async def submit_cells_async(
             else:
                 raise ServiceError(f"unexpected message {t!r} mid-job")
     finally:
+        if watcher is not None:
+            watcher.cancel()
+            try:
+                await watcher
+            except asyncio.CancelledError:
+                pass
         writer.close()
         try:
             await writer.wait_closed()
@@ -148,15 +200,17 @@ async def submit_cells_async(
 
 
 def submit_cells(addr: str, cells: list[Cell], *,
-                 bus: TelemetryBus | None = None) -> ParallelReport:
+                 bus: TelemetryBus | None = None,
+                 watch_seconds: float | None = None) -> ParallelReport:
     """Blocking wrapper: ``addr`` is ``"host:port"``."""
     host, port = parse_addr(addr)
-    return asyncio.run(submit_cells_async(host, port, cells, bus=bus))
+    return asyncio.run(submit_cells_async(host, port, cells, bus=bus,
+                                          watch_seconds=watch_seconds))
 
 
 async def _simple_request(host: str, port: int, msg: dict,
                           reply: str) -> dict:
-    reader, writer = await _open(host, port)
+    reader, writer, _welcome = await _open(host, port)
     try:
         await send_msg(writer, msg)
         return expect(await read_msg(reader), reply)

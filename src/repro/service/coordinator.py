@@ -32,6 +32,15 @@ Progress is mirrored onto an optional telemetry bus as instant events:
 ``service.worker`` (join/leave), ``service.cell`` (dispatch / done /
 failed, with worker and attempt count) and ``service.job``
 (submit/done).
+
+Fleet observability (opt-in): pass a
+:class:`~repro.telemetry.fleet.FleetObserver` and the coordinator
+mirrors every lease grant/complete/expire/retry, heartbeat, store probe
+and worker join/leave into fleet metrics and wall-clock trace slices,
+serves the live metrics snapshot through ``status_reply.fleet``, and
+stamps its ``run_id`` into every ``welcome`` so workers and clients can
+correlate their own artifacts with the coordinator's timeline.  Without
+an observer the only addition over PR 6 is the ``run_id`` string itself.
 """
 
 from __future__ import annotations
@@ -58,6 +67,7 @@ from repro.service.store import (
     encode_payload,
 )
 from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.fleet import FleetObserver, new_run_id
 
 __all__ = ["Coordinator"]
 
@@ -107,6 +117,7 @@ class Coordinator:
         max_attempts: int = 3,
         bus: TelemetryBus | None = None,
         fingerprint: str | None = None,
+        observer: FleetObserver | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -114,6 +125,10 @@ class Coordinator:
         self.lease_seconds = lease_seconds
         self.bus = bus
         self.fingerprint = fingerprint or code_fingerprint()
+        self.observer = observer
+        self.run_id = observer.run_id if observer is not None else new_run_id()
+        if observer is not None:
+            observer.board_counts = lambda: self.board.counts()
         self.board = TaskBoard(max_attempts=max_attempts)
         self.workers: dict[str, _WorkerConn] = {}
         self.jobs: dict[int, _Job] = {}
@@ -142,6 +157,8 @@ class Coordinator:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._reaper = asyncio.create_task(self._reap_loop())
+        if self.observer is not None:
+            self.observer.start()
 
     async def wait_stopped(self) -> None:
         """Block until a ``shutdown`` message arrives (CLI serve loop)."""
@@ -150,6 +167,8 @@ class Coordinator:
     async def stop(self) -> None:
         """Close the listener and every connection; cancel the reaper."""
         self._stopping.set()
+        if self.observer is not None:
+            await self.observer.stop()
         if self._reaper is not None:
             self._reaper.cancel()
             try:
@@ -230,8 +249,11 @@ class Coordinator:
             "fingerprint": self.fingerprint, "worker": name,
             "lease": self.lease_seconds,
             "heartbeat": round(max(self.lease_seconds / 3.0, 0.05), 3),
+            "run_id": self.run_id,
         })
         self._emit("service.worker", status="join", worker=name)
+        if self.observer is not None:
+            self.observer.on_worker_join(name)
         try:
             await self._dispatch()
             while True:
@@ -242,6 +264,8 @@ class Coordinator:
                 if t == "heartbeat":
                     self.board.extend_leases(name, time.monotonic(),
                                              self.lease_seconds)
+                    if self.observer is not None:
+                        self.observer.on_heartbeat(name)
                 elif t == "result":
                     await self._on_result(conn, msg)
                 elif t == "task_failed":
@@ -255,6 +279,8 @@ class Coordinator:
                 1 for s in released if s.status == "pending")
             self._emit("service.worker", status="leave", worker=name,
                        executed=conn.executed, released=len(released))
+            if self.observer is not None:
+                self.observer.on_worker_leave(name, conn.executed)
             for state in released:
                 if state.status == "failed":
                     await self._finish_cell(state.digest)
@@ -287,6 +313,8 @@ class Coordinator:
             status = self.board.release(state, repr(exc))
             self._emit("service.cell", status="corrupt", key=digest,
                        worker=conn.name, attempts=state.attempts)
+            if self.observer is not None:
+                self.observer.on_lease_ended(digest, "corrupt")
             if status == "failed":
                 await self._finish_cell(digest)
             else:
@@ -298,6 +326,8 @@ class Coordinator:
         conn.executed += 1
         self._emit("service.cell", status="done", key=digest,
                    worker=conn.name, attempts=state.attempts)
+        if self.observer is not None:
+            self.observer.on_lease_ended(digest, "done")
         await self._finish_cell(digest)
         await self._dispatch()
 
@@ -310,6 +340,8 @@ class Coordinator:
             await self._dispatch()
             return
         self.stats["worker_errors"] += 1
+        if self.observer is not None:
+            self.observer.on_lease_ended(digest, "failed")
         status = self.board.release(state,
                                     str(msg.get("error", "worker error")))
         if status == "failed":
@@ -326,6 +358,7 @@ class Coordinator:
             "t": "welcome", "protocol": PROTOCOL_VERSION,
             "fingerprint": self.fingerprint,
             "lease": self.lease_seconds,
+            "run_id": self.run_id,
         })
         job: _Job | None = None
         try:
@@ -337,13 +370,19 @@ class Coordinator:
                 if t == "submit":
                     job = await self._on_submit(msg, writer)
                 elif t == "status":
-                    await send_msg(writer, {
+                    reply = {
                         "t": "status_reply",
                         "workers": sorted(self.workers),
                         "tasks": self.board.counts(),
                         "jobs": len(self.jobs),
                         "stats": dict(self.stats),
-                    })
+                        "run_id": self.run_id,
+                    }
+                    if self.observer is not None:
+                        fleet = self.observer.status_doc()
+                        if fleet is not None:
+                            reply["fleet"] = fleet
+                    await send_msg(writer, reply)
                 elif t == "shutdown":
                     await send_msg(writer, {"t": "bye"})
                     self._stopping.set()
@@ -369,6 +408,8 @@ class Coordinator:
                 # probe the warm store once per cell
                 cached = (self.store.get(cell.key)
                           if self.store is not None else None)
+                if self.observer is not None and self.store is not None:
+                    self.observer.on_store_probe(cached is not None)
                 if cached is not None:
                     self.board.mark_done(state.digest, cached)
                     self.stats["hits"] += 1
@@ -381,6 +422,8 @@ class Coordinator:
         })
         self._emit("service.job", status="submitted", job=job.job_id,
                    total=job.total, hits=hits)
+        if self.observer is not None:
+            self.observer.on_job("submitted", job.job_id, job.total)
         # flush cells that are already settled (store hits, results or
         # failures shared with an earlier job)
         for digest in sorted(job.remaining):
@@ -450,6 +493,8 @@ class Coordinator:
         self.jobs.pop(job.job_id, None)
         self._emit("service.job", status="done", job=job.job_id,
                    total=job.total, failures=job.failures)
+        if self.observer is not None:
+            self.observer.on_job("completed", job.job_id, job.total)
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -479,6 +524,7 @@ class Coordinator:
                                 "t": "task", "task": task_id,
                                 "attempt": state.attempts - 1,
                                 "cell": encode_cell(cell),
+                                "cell_id": state.digest,
                             })
                     except (ConnectionError, OSError):
                         # the worker loop's finally-clause requeues
@@ -487,6 +533,10 @@ class Coordinator:
                     self._emit("service.cell", status="dispatch",
                                key=state.digest, worker=conn.name,
                                attempts=state.attempts)
+                    if self.observer is not None:
+                        self.observer.on_lease_granted(
+                            conn.name, state.digest, cell.key.key_str(),
+                            state.attempts - 1)
                 if len(ready) <= len(idle):
                     return
 
@@ -505,6 +555,8 @@ class Coordinator:
                 # cell is someone else's now
                 self._emit("service.cell", status="expired",
                            key=state.digest, attempts=state.attempts)
+                if self.observer is not None:
+                    self.observer.on_lease_ended(state.digest, "expired")
                 if state.status == "failed":
                     await self._finish_cell(state.digest)
                 else:

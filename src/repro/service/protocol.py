@@ -38,6 +38,24 @@ Message types
 ``bye``          coordinator -> client     shutdown acknowledged
 ===============  =======================  ==================================
 
+Correlation fields (still protocol 1)
+-------------------------------------
+Fleet observability added three *optional* fields; absent fields mean an
+older peer, and every consumer tolerates that, so the protocol version
+is unchanged:
+
+* ``welcome.run_id`` — the coordinator's fleet-run identifier.  Workers
+  adopt it for their trace files and ``REPRO_RUN_ID``; clients stamp it
+  on their :class:`~repro.experiments.parallel.ParallelReport`.
+* ``task.cell_id`` — the cell-key digest of the leased cell (the same
+  value ``result.key`` echoes back), exported by workers as
+  ``REPRO_CELL_ID`` while the cell executes.
+* ``status_reply.run_id`` / ``status_reply.fleet`` — the run identifier
+  and, when the coordinator carries a
+  :class:`~repro.telemetry.fleet.FleetObserver`, the live fleet-metrics
+  snapshot (queue depths, instrument values, per-worker table) the
+  ``repro submit --watch`` dashboard renders.
+
 Exactness
 ---------
 Simulation payloads travel through the same float-hex codec as the disk

@@ -26,6 +26,15 @@ makes the worker mis-report the SHA of the first attempt of any cell
 whose key matches — exercising the coordinator's integrity check — and
 the ``REPRO_PARALLEL_FAULT*`` hooks of :mod:`repro.experiments.cells`
 work unchanged, since execution goes through ``execute_cell``.
+
+Fleet observability (opt-in): after the ``welcome`` the worker adopts
+the coordinator's ``run_id`` and exports it (with its own worker name
+and the currently-executing ``cell_id``) through the ``REPRO_RUN_ID`` /
+``REPRO_WORKER_ID`` / ``REPRO_CELL_ID`` environment variables, so any
+telemetry artifact written inside the worker is correlatable; with
+``trace_out`` set it also records a wall-clock fleet trace (one
+begin/end slice per cell, hits and failures tagged) that ``repro obs
+merge-trace`` aligns against the coordinator's lease slices.
 """
 
 from __future__ import annotations
@@ -48,8 +57,39 @@ from repro.service.store import (
     encode_payload,
     payload_sha,
 )
+from repro.telemetry.fleet import (
+    ENV_CELL_ID,
+    ENV_RUN_ID,
+    ENV_WORKER_ID,
+    FleetTraceWriter,
+)
 
 __all__ = ["run_worker"]
+
+
+class _EnvIds:
+    """Scoped REPRO_RUN_ID/WORKER_ID/CELL_ID management.
+
+    The loopback tests run workers inside the test process, so the
+    correlation ids must be restored on exit rather than left behind.
+    """
+
+    def __init__(self) -> None:
+        self._saved = {env: os.environ.get(env)
+                       for env in (ENV_RUN_ID, ENV_WORKER_ID, ENV_CELL_ID)}
+
+    def set(self, env: str, value: str | None) -> None:
+        if value:
+            os.environ[env] = value
+        else:
+            os.environ.pop(env, None)
+
+    def restore(self) -> None:
+        for env, value in self._saved.items():
+            if value is None:
+                os.environ.pop(env, None)
+            else:
+                os.environ[env] = value
 
 
 def _maybe_corrupt_sha(key_str: str, sha: str, attempt: int) -> str:
@@ -69,6 +109,14 @@ async def _heartbeat_loop(writer: asyncio.StreamWriter, lock: asyncio.Lock,
                 await send_msg(writer, {"t": "heartbeat", "worker": name})
     except (ConnectionError, OSError):
         return  # the main loop will see the EOF and wind down
+
+
+async def _snapshot_loop(trace, stats: dict, interval: float) -> None:
+    """Periodic progress records in the fleet trace (merged as a counter
+    track, so worker throughput is visible over time, not just in sum)."""
+    while True:
+        await asyncio.sleep(interval)
+        trace.snapshot("progress", **stats)
 
 
 def _execute(cell: Cell, attempt: int, store: ResultStore | None,
@@ -95,6 +143,8 @@ async def run_worker(
     connect_retries: int = 0,
     retry_delay: float = 0.5,
     heartbeat_seconds: float | None = None,
+    trace_out: str | os.PathLike | None = None,
+    snapshot_seconds: float | None = None,
 ) -> dict:
     """Serve one coordinator until it closes the connection.
 
@@ -119,6 +169,9 @@ async def run_worker(
     stats = {"executed": 0, "hits": 0, "failed": 0}
     send_lock = asyncio.Lock()
     heartbeat: asyncio.Task | None = None
+    snapshotter: asyncio.Task | None = None
+    trace: FleetTraceWriter | None = None
+    env_ids = _EnvIds()
     try:
         await send_msg(writer, {
             "t": "hello", "role": "worker", "protocol": PROTOCOL_VERSION,
@@ -126,10 +179,19 @@ async def run_worker(
         })
         welcome = expect(await read_msg(reader), "welcome")
         name = welcome.get("worker") or worker_id or "worker"
+        run_id = welcome.get("run_id")
+        env_ids.set(ENV_RUN_ID, run_id)
+        env_ids.set(ENV_WORKER_ID, name)
+        if trace_out is not None and run_id:
+            trace = FleetTraceWriter(trace_out, role="worker",
+                                     run_id=run_id, worker_id=name)
         interval = (heartbeat_seconds if heartbeat_seconds is not None
                     else float(welcome.get("heartbeat", 5.0)))
         heartbeat = asyncio.create_task(
             _heartbeat_loop(writer, send_lock, name, interval))
+        if trace is not None and snapshot_seconds:
+            snapshotter = asyncio.create_task(
+                _snapshot_loop(trace, stats, snapshot_seconds))
 
         while True:
             msg = await read_msg(reader)
@@ -139,17 +201,33 @@ async def run_worker(
                 continue  # tolerate benign extras (future protocol growth)
             cell = decode_cell(msg["cell"])
             attempt = int(msg.get("attempt", 0))
+            cell_id = msg.get("cell_id") or cell.key.digest()
+            slice_name = cell.key.key_str().split(":cfg=")[0]
+            env_ids.set(ENV_CELL_ID, cell_id)
+            if trace is not None:
+                trace.event(f"cell {slice_name}", "B", track="cells",
+                            cell_id=cell_id, attempt=attempt)
+            hits_before = stats["hits"]
             try:
                 payload = await asyncio.to_thread(
                     _execute, cell, attempt, store, stats)
             except Exception as exc:
                 stats["failed"] += 1
+                if trace is not None:
+                    trace.event(f"cell {slice_name}", "E", track="cells",
+                                status="failed", error=repr(exc))
                 async with send_lock:
                     await send_msg(writer, {
                         "t": "task_failed", "task": msg.get("task"),
                         "key": cell.key.digest(), "error": repr(exc),
                     })
                 continue
+            finally:
+                env_ids.set(ENV_CELL_ID, None)
+            if trace is not None:
+                trace.event(f"cell {slice_name}", "E", track="cells",
+                            status="hit" if stats["hits"] > hits_before
+                            else "done")
             sha = _maybe_corrupt_sha(cell.key.key_str(),
                                      payload_sha(payload), attempt)
             async with send_lock:
@@ -159,12 +237,16 @@ async def run_worker(
                     "sha": sha,
                 })
     finally:
-        if heartbeat is not None:
-            heartbeat.cancel()
-            try:
-                await heartbeat
-            except asyncio.CancelledError:
-                pass
+        for task in (heartbeat, snapshotter):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        if trace is not None:
+            trace.close(**stats)
+        env_ids.restore()
         writer.close()
         try:
             await writer.wait_closed()

@@ -1,0 +1,688 @@
+"""Fleet observability: cross-process traces, metrics and dashboards.
+
+The per-run telemetry hub (:mod:`repro.telemetry.hub`) observes *one
+simulation in one process*.  This module observes the machinery that
+runs many simulations across many processes — the distributed sweep
+service (:mod:`repro.service`) and the local parallel runner — and
+answers the fleet-level questions the hub cannot: which worker is slow,
+why a lease was retried, where fleet wall-clock goes.
+
+Three pieces, all strictly opt-in (a fleet with observability disabled
+does no extra work and produces bit-identical results):
+
+* :class:`FleetTraceWriter` — an append-only JSONL recorder of
+  wall-clock events, one file per process.  Every file carries the
+  shared ``run_id`` in its header (plus the process role and worker
+  name), so :func:`merge_traces` can stitch coordinator lease slices
+  and worker cell slices from separate hosts into one Chrome trace
+  timeline (``repro obs merge-trace``): one lane per process, slices =
+  work, gaps = idle.
+* :class:`FleetMetrics` — a coordinator-side instrument registry
+  (reusing :class:`~repro.telemetry.registry.TelemetryRegistry`) of
+  queue depths, lease grant/complete/expire/retry counters, per-worker
+  throughput and heartbeat-gap histograms, and result-store
+  hit/miss/verify counters.  :func:`prometheus_text` renders a snapshot
+  in the Prometheus text exposition format; :class:`FleetObserver`
+  snapshots periodically to JSONL and a ``.prom`` file and serves the
+  live view through the coordinator's ``status`` request.
+* :func:`render_dashboard` — the TTY progress-bar + worker-table view
+  ``repro submit --watch`` refreshes from those status snapshots.
+
+Correlation identifiers travel two ways: inside the service protocol
+(``welcome.run_id``, ``task.cell_id`` — optional, backward-compatible
+protocol-v1 fields) and through the ``REPRO_RUN_ID`` /
+``REPRO_WORKER_ID`` / ``REPRO_CELL_ID`` environment variables, which
+every exporter stamps into its run-metadata header
+(:func:`repro.telemetry.export.run_metadata`) so even a per-simulation
+Chrome trace written inside a worker names the fleet run it was part of.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import uuid
+from datetime import datetime, timezone
+
+from repro.telemetry.registry import TelemetryRegistry
+
+__all__ = [
+    "FLEET_FORMAT",
+    "new_run_id",
+    "fleet_ids",
+    "FleetTraceWriter",
+    "FleetMetrics",
+    "FleetObserver",
+    "prometheus_text",
+    "write_prometheus",
+    "read_fleet_trace",
+    "merge_traces",
+    "write_merged_trace",
+    "render_dashboard",
+]
+
+#: format marker on the JSONL header line of a fleet trace file
+FLEET_FORMAT = "repro-fleet-trace-v1"
+
+#: environment variables carrying correlation ids across process spawns
+ENV_RUN_ID = "REPRO_RUN_ID"
+ENV_WORKER_ID = "REPRO_WORKER_ID"
+ENV_CELL_ID = "REPRO_CELL_ID"
+
+
+def new_run_id() -> str:
+    """A fresh fleet-run identifier (short, log-friendly, unique)."""
+    return uuid.uuid4().hex[:12]
+
+
+def fleet_ids() -> dict:
+    """Correlation ids of the current process, from the environment.
+
+    The service sets these (coordinator mints the ``run_id``, workers
+    adopt it from ``welcome`` and stamp the executing ``cell_id``); the
+    local parallel runner sets ``run_id`` before forking its pool.
+    Empty dict outside any fleet context.
+    """
+    out = {}
+    for field, env in (("run_id", ENV_RUN_ID), ("worker_id", ENV_WORKER_ID),
+                       ("cell_id", ENV_CELL_ID)):
+        value = os.environ.get(env)
+        if value:
+            out[field] = value
+    return out
+
+
+# -- trace recording -------------------------------------------------------------
+
+
+class FleetTraceWriter:
+    """Append-only JSONL recorder of wall-clock fleet events.
+
+    One writer per process per run.  Records are flushed line-by-line so
+    a crashed process leaves a readable prefix.  Record types:
+
+    * ``header``   — format marker, role, ``run_id``, worker name, pid;
+    * ``event``    — ``ph`` ``"B"``/``"E"``/``"i"`` (begin/end/instant)
+      on a named ``track`` at wall-clock ``t`` (``time.time()``);
+    * ``snapshot`` — a periodic counter sample (worker throughput,
+      queue depths) rendered as counter tracks by the merger;
+    * ``footer``   — lifetime totals, written by :meth:`close`.
+    """
+
+    def __init__(self, path, *, role: str, run_id: str,
+                 worker_id: str | None = None) -> None:
+        self.path = os.fspath(path)
+        self.role = role
+        self.run_id = run_id
+        self.worker_id = worker_id
+        self.events_written = 0
+        self._f = open(self.path, "w")
+        self._write({
+            "type": "header",
+            "format": FLEET_FORMAT,
+            "role": role,
+            "run_id": run_id,
+            "worker_id": worker_id,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "created": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"),
+        })
+
+    def _write(self, rec: dict) -> None:
+        self._f.write(json.dumps(rec) + "\n")
+        self._f.flush()
+
+    def event(self, name: str, ph: str, track: str,
+              t: float | None = None, **args) -> None:
+        """Record one begin/end/instant event on a track."""
+        if ph not in ("B", "E", "i"):
+            raise ValueError(f"unknown fleet event phase {ph!r}")
+        rec = {"type": "event", "name": name, "ph": ph,
+               "t": time.time() if t is None else t, "track": track}
+        if args:
+            rec["args"] = args
+        self._write(rec)
+        self.events_written += 1
+
+    def snapshot(self, track: str, t: float | None = None, **values) -> None:
+        """Record one periodic counter sample on a track."""
+        self._write({"type": "snapshot", "t": time.time() if t is None
+                     else t, "track": track, "values": values})
+        self.events_written += 1
+
+    def close(self, **totals) -> None:
+        if self._f.closed:
+            return
+        self._write({"type": "footer", "t": time.time(), "totals": totals,
+                     "events": self.events_written})
+        self._f.close()
+
+
+# -- coordinator metrics ---------------------------------------------------------
+
+
+class FleetMetrics:
+    """Coordinator-side fleet instrument registry + per-worker table.
+
+    Instrument names are fixed (no per-worker instruments) so the
+    Prometheus output has bounded cardinality on the registry side;
+    per-worker detail lives in :meth:`worker_table`, exported as
+    labelled series by :func:`prometheus_text`.
+    """
+
+    def __init__(self, run_id: str) -> None:
+        self.run_id = run_id
+        self.registry = TelemetryRegistry(enabled=True)
+        r = self.registry
+        self.lease_granted = r.counter("fleet.lease.granted")
+        self.lease_completed = r.counter("fleet.lease.completed")
+        self.lease_expired = r.counter("fleet.lease.expired")
+        self.lease_retried = r.counter("fleet.lease.retried")
+        self.lease_failed = r.counter("fleet.lease.failed")
+        self.store_hits = r.counter("fleet.store.hits")
+        self.store_misses = r.counter("fleet.store.misses")
+        self.store_verify_failures = r.counter("fleet.store.verify_failures")
+        self.jobs_submitted = r.counter("fleet.jobs.submitted")
+        self.jobs_completed = r.counter("fleet.jobs.completed")
+        self.workers_joined = r.counter("fleet.workers.joined")
+        self.workers_left = r.counter("fleet.workers.left")
+        self.cell_seconds = r.histogram("fleet.cell.seconds")
+        self.heartbeat_gap = r.histogram("fleet.worker.heartbeat_gap")
+        #: worker name -> mutable per-worker stats row
+        self.workers: dict[str, dict] = {}
+        self._t0 = time.time()
+
+    # -- worker lifecycle --------------------------------------------------------
+
+    def _row(self, worker: str) -> dict:
+        row = self.workers.get(worker)
+        if row is None:
+            row = self.workers[worker] = {
+                "cells": 0, "busy_seconds": 0.0, "connected": True,
+                "joined": time.time(), "last_heartbeat": time.time(),
+                "heartbeat_gap_max": 0.0, "current": None,
+            }
+        return row
+
+    def on_worker_join(self, worker: str) -> None:
+        self.workers_joined.inc()
+        self._row(worker)
+
+    def on_worker_leave(self, worker: str) -> None:
+        self.workers_left.inc()
+        row = self._row(worker)
+        row["connected"] = False
+        row["current"] = None
+
+    def on_heartbeat(self, worker: str) -> None:
+        row = self._row(worker)
+        now = time.time()
+        gap = now - row["last_heartbeat"]
+        row["last_heartbeat"] = now
+        if gap > row["heartbeat_gap_max"]:
+            row["heartbeat_gap_max"] = gap
+        self.heartbeat_gap.observe(gap)
+
+    # -- lease lifecycle ---------------------------------------------------------
+
+    def on_lease_granted(self, worker: str, key_str: str,
+                         attempt: int) -> None:
+        self.lease_granted.inc()
+        if attempt > 0:
+            self.lease_retried.inc()
+        self._row(worker)["current"] = key_str
+
+    def on_lease_ended(self, worker: str, status: str,
+                       seconds: float) -> None:
+        """``status``: done | failed | corrupt | expired | disconnect."""
+        row = self._row(worker)
+        row["current"] = None
+        if status == "done":
+            self.lease_completed.inc()
+            self.cell_seconds.observe(seconds)
+            row["cells"] += 1
+            row["busy_seconds"] += seconds
+        elif status == "expired":
+            self.lease_expired.inc()
+        elif status == "corrupt":
+            self.store_verify_failures.inc()
+        elif status == "failed":
+            self.lease_failed.inc()
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def worker_table(self) -> dict[str, dict]:
+        """Per-worker derived stats (cells/sec, heartbeat age, ...)."""
+        now = time.time()
+        out = {}
+        for name, row in sorted(self.workers.items()):
+            alive = now - row["joined"]
+            out[name] = {
+                "connected": row["connected"],
+                "cells": row["cells"],
+                "busy_seconds": round(row["busy_seconds"], 3),
+                "cells_per_sec": round(row["cells"] / alive, 4) if alive
+                else 0.0,
+                "utilization": round(row["busy_seconds"] / alive, 4)
+                if alive else 0.0,
+                "heartbeat_age": round(now - row["last_heartbeat"], 3),
+                "heartbeat_gap_max": round(row["heartbeat_gap_max"], 3),
+                "current": row["current"],
+            }
+        return out
+
+    def snapshot(self, queue: dict[str, int] | None = None) -> dict:
+        """One point-in-time metrics document (JSONL / status / prom)."""
+        return {
+            "t": time.time(),
+            "run_id": self.run_id,
+            "uptime_seconds": round(time.time() - self._t0, 3),
+            "queue": dict(queue or {}),
+            "instruments": self.registry.snapshot(),
+            "workers": self.worker_table(),
+        }
+
+
+# -- Prometheus text format ------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Render a :meth:`FleetMetrics.snapshot` document in the Prometheus
+    text exposition format (one scrape's worth, suitable for the
+    textfile collector).
+
+    Counters get a ``_total`` suffix; histograms are exported as the
+    summary gauges ``_count`` / ``_sum`` / ``_min`` / ``_max`` (full
+    distributions are never kept — see
+    :class:`~repro.telemetry.registry.Histogram`).  Per-worker rows
+    become series labelled ``{worker="..."}``.
+    """
+    run_id = snapshot.get("run_id", "")
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, value, labels: str = "") -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name}{labels} {value}")
+
+    for key, value in sorted(snapshot.get("queue", {}).items()):
+        emit(_prom_name(f"fleet.queue.{key}"), "gauge", value)
+    for name, inst in sorted(snapshot.get("instruments", {}).items()):
+        base = _prom_name(name)
+        if inst["kind"] == "counter":
+            emit(base + "_total", "counter", inst["value"])
+        elif inst["kind"] == "gauge":
+            emit(base, "gauge", inst["value"])
+        else:  # histogram summary
+            emit(base + "_count", "gauge", inst["count"])
+            emit(base + "_sum", "gauge", inst["sum"])
+            emit(base + "_min", "gauge", inst["min"])
+            emit(base + "_max", "gauge", inst["max"])
+    workers = snapshot.get("workers", {})
+    for field, kind in (("cells", "counter"), ("busy_seconds", "counter"),
+                        ("cells_per_sec", "gauge"), ("utilization", "gauge"),
+                        ("heartbeat_age", "gauge"),
+                        ("heartbeat_gap_max", "gauge")):
+        name = _prom_name(f"fleet.worker.{field}")
+        suffix = "_total" if kind == "counter" else ""
+        if workers:
+            lines.append(f"# TYPE {name}{suffix} {kind}")
+        for wname, row in sorted(workers.items()):
+            labels = f'{{worker="{wname}",run_id="{run_id}"}}'
+            lines.append(f"{name}{suffix}{labels} {row[field]}")
+    emit(_prom_name("fleet.uptime_seconds"), "gauge",
+         snapshot.get("uptime_seconds", 0.0))
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(snapshot: dict, path) -> None:
+    """Atomically write one snapshot as a Prometheus textfile."""
+    tmp = os.fspath(path) + ".tmp"
+    with open(tmp, "w") as f:
+        f.write(prometheus_text(snapshot))
+    os.replace(tmp, path)
+
+
+# -- the coordinator-side observer ----------------------------------------------
+
+
+class FleetObserver:
+    """Everything the coordinator records about its own fleet.
+
+    Bundles the optional pieces — a :class:`FleetMetrics` registry, a
+    :class:`FleetTraceWriter`, and the periodic snapshot loop writing
+    metrics JSONL and a Prometheus textfile — behind one object whose
+    every hook tolerates any subset being disabled.  The coordinator
+    calls the ``on_*`` hooks from its message handlers; ``start()`` /
+    ``stop()`` bracket the asyncio snapshot task.
+    """
+
+    def __init__(
+        self,
+        run_id: str | None = None,
+        *,
+        metrics: bool = True,
+        trace_out=None,
+        metrics_out=None,
+        prometheus_out=None,
+        snapshot_every: float = 5.0,
+    ) -> None:
+        self.run_id = run_id or new_run_id()
+        self.metrics = FleetMetrics(self.run_id) if metrics else None
+        self.trace = (FleetTraceWriter(trace_out, role="coordinator",
+                                       run_id=self.run_id)
+                      if trace_out else None)
+        self.metrics_out = (os.fspath(metrics_out) if metrics_out
+                            else None)
+        self.prometheus_out = (os.fspath(prometheus_out) if prometheus_out
+                               else None)
+        self.snapshot_every = snapshot_every
+        self.snapshots_written = 0
+        #: live board-counts supplier, set by the coordinator
+        self.board_counts = lambda: {}
+        #: worker -> (cell digest, key_str, lease wall-clock start)
+        self._open: dict[str, tuple[str, str, float]] = {}
+        self._digest_worker: dict[str, str] = {}
+        self._snap_task = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the periodic snapshot loop (requires a running loop)."""
+        if self.metrics is None or not (self.metrics_out
+                                        or self.prometheus_out):
+            return
+        import asyncio
+
+        self._snap_task = asyncio.create_task(self._snapshot_loop())
+
+    async def _snapshot_loop(self) -> None:
+        import asyncio
+
+        while True:
+            await asyncio.sleep(self.snapshot_every)
+            self.write_snapshot()
+
+    def write_snapshot(self) -> dict:
+        """Take one metrics snapshot and flush it to the output files."""
+        snap = self.metrics.snapshot(queue=self.board_counts())
+        if self.metrics_out:
+            with open(self.metrics_out, "a") as f:
+                f.write(json.dumps(snap) + "\n")
+        if self.prometheus_out:
+            write_prometheus(snap, self.prometheus_out)
+        self.snapshots_written += 1
+        return snap
+
+    async def stop(self) -> None:
+        if self._snap_task is not None:
+            import asyncio
+
+            self._snap_task.cancel()
+            try:
+                await self._snap_task
+            except asyncio.CancelledError:
+                pass
+            self._snap_task = None
+        if self.metrics is not None and (self.metrics_out
+                                         or self.prometheus_out):
+            self.write_snapshot()  # final point, even on short runs
+        if self.trace is not None:
+            totals = (self.metrics.snapshot(queue=self.board_counts())
+                      if self.metrics is not None else {})
+            self.trace.close(**{"snapshots": self.snapshots_written,
+                                "queue": totals.get("queue", {})})
+
+    # -- hooks (all safe with any piece disabled) --------------------------------
+
+    def on_worker_join(self, worker: str) -> None:
+        if self.metrics is not None:
+            self.metrics.on_worker_join(worker)
+        if self.trace is not None:
+            self.trace.event("worker join", "i", track=worker)
+
+    def on_worker_leave(self, worker: str, executed: int) -> None:
+        self._end_lease_of(worker, "disconnect")
+        if self.metrics is not None:
+            self.metrics.on_worker_leave(worker)
+        if self.trace is not None:
+            self.trace.event("worker leave", "i", track=worker,
+                             executed=executed)
+
+    def on_heartbeat(self, worker: str) -> None:
+        if self.metrics is not None:
+            self.metrics.on_heartbeat(worker)
+
+    def on_lease_granted(self, worker: str, digest: str, key_str: str,
+                         attempt: int) -> None:
+        now = time.time()
+        self._open[worker] = (digest, key_str, now)
+        self._digest_worker[digest] = worker
+        if self.metrics is not None:
+            self.metrics.on_lease_granted(worker, key_str, attempt)
+        if self.trace is not None:
+            self.trace.event(f"lease {key_str.split(':cfg=')[0]}", "B",
+                             track=worker, t=now, cell_id=digest,
+                             attempt=attempt)
+
+    def on_lease_ended(self, digest: str, status: str) -> None:
+        """Close the open lease slice for ``digest`` (if any)."""
+        worker = self._digest_worker.pop(digest, None)
+        if worker is None:
+            return
+        open_lease = self._open.get(worker)
+        if open_lease is None or open_lease[0] != digest:
+            return
+        del self._open[worker]
+        now = time.time()
+        seconds = now - open_lease[2]
+        if self.metrics is not None:
+            self.metrics.on_lease_ended(worker, status, seconds)
+        if self.trace is not None:
+            self.trace.event(f"lease {open_lease[1].split(':cfg=')[0]}",
+                             "E", track=worker, t=now, status=status)
+
+    def _end_lease_of(self, worker: str, status: str) -> None:
+        open_lease = self._open.get(worker)
+        if open_lease is not None:
+            self.on_lease_ended(open_lease[0], status)
+
+    def on_store_probe(self, hit: bool) -> None:
+        if self.metrics is not None:
+            (self.metrics.store_hits if hit
+             else self.metrics.store_misses).inc()
+
+    def on_job(self, status: str, job_id: int, total: int) -> None:
+        if self.metrics is not None:
+            (self.metrics.jobs_submitted if status == "submitted"
+             else self.metrics.jobs_completed).inc()
+        if self.trace is not None:
+            self.trace.event(f"job {job_id} {status}", "i", track="jobs",
+                             total=total)
+
+    # -- status ------------------------------------------------------------------
+
+    def status_doc(self) -> dict | None:
+        """The ``fleet`` section of a ``status_reply`` (None = disabled)."""
+        if self.metrics is None:
+            return None
+        return self.metrics.snapshot(queue=self.board_counts())
+
+
+# -- trace merging ---------------------------------------------------------------
+
+
+def read_fleet_trace(path) -> dict:
+    """Parse one :class:`FleetTraceWriter` file.
+
+    Returns ``{"header": ..., "events": [...], "snapshots": [...],
+    "footer": ...}``; raises ``ValueError`` for files this library did
+    not write (missing or foreign header).
+    """
+    out: dict = {"header": None, "events": [], "snapshots": [],
+                 "footer": None}
+    with open(path) as f:
+        for lineno, line in enumerate(f):
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            kind = rec.get("type")
+            if lineno == 0:
+                if kind != "header" or rec.get("format") != FLEET_FORMAT:
+                    raise ValueError(f"{path}: not a {FLEET_FORMAT} file")
+                out["header"] = rec
+            elif kind == "event":
+                out["events"].append(rec)
+            elif kind == "snapshot":
+                out["snapshots"].append(rec)
+            elif kind == "footer":
+                out["footer"] = rec
+            else:
+                raise ValueError(
+                    f"{path}:{lineno + 1}: unknown record type {kind!r}")
+    if out["header"] is None:
+        raise ValueError(f"{path}: empty fleet trace")
+    return out
+
+
+def merge_traces(paths) -> dict:
+    """Stitch per-process fleet traces into one Chrome trace document.
+
+    Every input file must carry the same ``run_id`` (mixing runs in one
+    timeline would be meaningless — a mismatch raises ``ValueError``).
+    Each process becomes one Chrome ``pid`` (coordinator first, then
+    workers and clients sorted by name), each track within it one
+    ``tid``; begin/end events become duration slices, instants stay
+    instants, snapshots become counter tracks.  Timestamps are
+    wall-clock microseconds relative to the earliest event across all
+    files, so lanes line up and gaps between slices read as idle time.
+    """
+    traces = [(os.fspath(p), read_fleet_trace(p)) for p in paths]
+    if not traces:
+        raise ValueError("no fleet trace files given")
+    run_ids = {t["header"]["run_id"] for _, t in traces}
+    if len(run_ids) != 1:
+        raise ValueError(
+            f"fleet traces span {len(run_ids)} run_ids {sorted(run_ids)}; "
+            "merge one run at a time")
+    run_id = run_ids.pop()
+
+    def source_rank(item):
+        header = item[1]["header"]
+        role_rank = {"coordinator": 0, "worker": 1, "client": 2}.get(
+            header["role"], 3)
+        return (role_rank, header.get("worker_id") or "", item[0])
+
+    traces.sort(key=source_rank)
+    t0 = min((e["t"] for _, t in traces for e in t["events"]
+              + t["snapshots"]), default=0.0)
+
+    def ts(t: float) -> float:
+        return (t - t0) * 1e6
+
+    events: list[dict] = []
+    sources = []
+    for pid, (path, trace) in enumerate(traces, start=1):
+        header = trace["header"]
+        label = header["role"]
+        if header.get("worker_id"):
+            label += f" {header['worker_id']}"
+        sources.append({"path": path, "pid": pid, "role": header["role"],
+                        "worker_id": header.get("worker_id"),
+                        "events": len(trace["events"])})
+        events.append({"ph": "M", "pid": pid, "name": "process_name",
+                       "args": {"name": label}})
+        tids: dict[str, int] = {}
+
+        def tid(track: str) -> int:
+            t = tids.get(track)
+            if t is None:
+                t = tids[track] = len(tids)
+                events.append({"ph": "M", "pid": pid, "tid": t,
+                               "name": "thread_name",
+                               "args": {"name": track}})
+            return t
+
+        for e in trace["events"]:
+            rec = {"ph": e["ph"], "pid": pid, "tid": tid(e["track"]),
+                   "ts": ts(e["t"]), "name": e["name"], "cat": "fleet"}
+            if e["ph"] == "i":
+                rec["s"] = "t"
+            args = dict(e.get("args", {}))
+            args["run_id"] = run_id
+            rec["args"] = args
+            events.append(rec)
+        for s in trace["snapshots"]:
+            events.append({"ph": "C", "pid": pid,
+                           "tid": tid(s.get("track", "counters")),
+                           "ts": ts(s["t"]),
+                           "name": s.get("track", "counters"),
+                           "args": s.get("values", {})})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": FLEET_FORMAT,
+            "run_id": run_id,
+            "sources": sources,
+        },
+    }
+
+
+def write_merged_trace(paths, out_path) -> dict:
+    """``repro obs merge-trace``'s body: merge and write; returns doc."""
+    doc = merge_traces(paths)
+    with open(out_path, "w") as f:
+        json.dump(doc, f)
+        f.write("\n")
+    return doc
+
+
+# -- TTY dashboard ---------------------------------------------------------------
+
+
+def render_dashboard(status: dict, done: int, total: int,
+                     width: int = 72) -> str:
+    """Render one frame of the ``repro submit --watch`` dashboard.
+
+    ``status`` is a coordinator ``status_reply`` document; ``done`` and
+    ``total`` come from the submitting client's own progress counters
+    (the stream of ``cell_done`` messages), which track *this job*
+    rather than the whole board.
+    """
+    bar_width = max(10, width - 30)
+    frac = done / total if total else 1.0
+    filled = int(round(frac * bar_width))
+    bar = "#" * filled + "-" * (bar_width - filled)
+    lines = [f"[{bar}] {done}/{total} cells ({frac:6.1%})"]
+    tasks = status.get("tasks", {})
+    if tasks:
+        lines.append(
+            "board: " + "  ".join(f"{k}={tasks.get(k, 0)}"
+                                  for k in ("pending", "leased", "done",
+                                            "failed")))
+    fleet = status.get("fleet") or {}
+    workers = fleet.get("workers") or {}
+    if workers:
+        lines.append(f"{'worker':<14} {'cells':>6} {'cells/s':>8} "
+                     f"{'util':>6} {'hb age':>7}  current")
+        for name, row in workers.items():
+            state = "" if row["connected"] else " (gone)"
+            current = (row["current"] or "idle").split(":cfg=")[0]
+            if len(current) > 32:
+                current = current[:31] + "…"
+            lines.append(
+                f"{name[:14]:<14} {row['cells']:>6} "
+                f"{row['cells_per_sec']:>8.2f} {row['utilization']:>6.1%} "
+                f"{row['heartbeat_age']:>6.1f}s  {current}{state}")
+    else:
+        names = status.get("workers", [])
+        lines.append(f"workers: {', '.join(names) or '(none)'}")
+    return "\n".join(lines)

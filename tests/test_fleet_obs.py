@@ -1,0 +1,391 @@
+"""Tests for fleet observability: traces, metrics, merge, dashboard."""
+
+import json
+
+import pytest
+
+from repro import Telemetry
+from repro.telemetry.export import read_jsonl, write_chrome_trace, write_jsonl
+from repro.telemetry.fleet import (
+    ENV_CELL_ID,
+    ENV_RUN_ID,
+    ENV_WORKER_ID,
+    FLEET_FORMAT,
+    FleetMetrics,
+    FleetObserver,
+    FleetTraceWriter,
+    fleet_ids,
+    merge_traces,
+    new_run_id,
+    prometheus_text,
+    read_fleet_trace,
+    render_dashboard,
+    write_merged_trace,
+    write_prometheus,
+)
+
+
+class TestIds:
+    def test_new_run_id_short_and_unique(self):
+        a, b = new_run_id(), new_run_id()
+        assert a != b
+        assert len(a) == 12
+        assert all(c in "0123456789abcdef" for c in a)
+
+    def test_fleet_ids_empty_outside_fleet(self, monkeypatch):
+        for env in (ENV_RUN_ID, ENV_WORKER_ID, ENV_CELL_ID):
+            monkeypatch.delenv(env, raising=False)
+        assert fleet_ids() == {}
+
+    def test_fleet_ids_reads_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_RUN_ID, "r1")
+        monkeypatch.setenv(ENV_WORKER_ID, "w0")
+        monkeypatch.delenv(ENV_CELL_ID, raising=False)
+        assert fleet_ids() == {"run_id": "r1", "worker_id": "w0"}
+
+
+class TestTraceWriter:
+    def test_round_trip(self, tmp_path):
+        p = tmp_path / "w.jsonl"
+        tw = FleetTraceWriter(p, role="worker", run_id="r1", worker_id="w0")
+        tw.event("cell a", "B", track="cells", t=10.0, attempt=0)
+        tw.event("cell a", "E", track="cells", t=11.5, status="done")
+        tw.snapshot("progress", t=11.0, executed=1, hits=0)
+        tw.event("note", "i", track="cells", t=11.2)
+        tw.close(executed=1)
+        doc = read_fleet_trace(p)
+        assert doc["header"]["format"] == FLEET_FORMAT
+        assert doc["header"]["run_id"] == "r1"
+        assert doc["header"]["worker_id"] == "w0"
+        assert [e["ph"] for e in doc["events"]] == ["B", "E", "i"]
+        assert doc["events"][0]["args"] == {"attempt": 0}
+        assert doc["snapshots"][0]["values"] == {"executed": 1, "hits": 0}
+        assert doc["footer"]["totals"] == {"executed": 1}
+        assert doc["footer"]["events"] == 4
+
+    def test_bad_phase_rejected(self, tmp_path):
+        tw = FleetTraceWriter(tmp_path / "x.jsonl", role="worker",
+                              run_id="r1")
+        with pytest.raises(ValueError, match="phase"):
+            tw.event("oops", "X", track="cells")
+        tw.close()
+
+    def test_close_idempotent(self, tmp_path):
+        tw = FleetTraceWriter(tmp_path / "x.jsonl", role="worker",
+                              run_id="r1")
+        tw.close()
+        tw.close()  # second close is a no-op, not a crash
+
+    def test_crashed_process_leaves_readable_prefix(self, tmp_path):
+        p = tmp_path / "crash.jsonl"
+        tw = FleetTraceWriter(p, role="worker", run_id="r1")
+        tw.event("cell a", "B", track="cells", t=1.0)
+        # no close(): simulates a killed worker — flushed lines remain
+        doc = read_fleet_trace(p)
+        assert len(doc["events"]) == 1
+        assert doc["footer"] is None
+        tw.close()
+
+    def test_foreign_file_rejected(self, tmp_path):
+        p = tmp_path / "foreign.jsonl"
+        p.write_text('{"type": "header", "format": "something-else"}\n')
+        with pytest.raises(ValueError, match=FLEET_FORMAT):
+            read_fleet_trace(p)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_fleet_trace(empty)
+
+
+def _two_process_traces(tmp_path, run_id="r1"):
+    """Coordinator and worker traces with interleaved concurrent flushes,
+    the way two live processes write them."""
+    cp = tmp_path / "coord.jsonl"
+    wp = tmp_path / "worker.jsonl"
+    coord = FleetTraceWriter(cp, role="coordinator", run_id=run_id)
+    work = FleetTraceWriter(wp, role="worker", run_id=run_id,
+                            worker_id="w0")
+    # flushes alternate between the two files (concurrent processes)
+    coord.event("lease eval:4MEM-1", "B", track="w0", t=100.0, cell_id="d1")
+    work.event("cell eval:4MEM-1", "B", track="cells", t=100.1,
+               cell_id="d1")
+    coord.snapshot("queue", t=100.5, pending=3, leased=1)
+    work.snapshot("progress", t=100.6, executed=0, hits=0)
+    work.event("cell eval:4MEM-1", "E", track="cells", t=101.0,
+               status="done")
+    coord.event("lease eval:4MEM-1", "E", track="w0", t=101.1,
+                status="done")
+    coord.event("job 1 completed", "i", track="jobs", t=101.2)
+    coord.close()
+    work.close(executed=1)
+    return cp, wp
+
+
+class TestMerge:
+    def test_two_process_merge(self, tmp_path):
+        cp, wp = _two_process_traces(tmp_path)
+        doc = merge_traces([wp, cp])  # order given must not matter
+        assert doc["otherData"]["run_id"] == "r1"
+        assert doc["otherData"]["format"] == FLEET_FORMAT
+        # coordinator sorts first regardless of argument order
+        assert [s["role"] for s in doc["otherData"]["sources"]] == [
+            "coordinator", "worker"]
+        events = doc["traceEvents"]
+        by_pid = {}
+        for e in events:
+            by_pid.setdefault(e["pid"], []).append(e)
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"
+                 and e["name"] == "process_name"}
+        assert names == {"coordinator", "worker w0"}
+        lease_b = [e for e in events if e["ph"] == "B"
+                   and e["name"].startswith("lease ")]
+        cell_b = [e for e in events if e["ph"] == "B"
+                  and e["name"].startswith("cell ")]
+        assert len(lease_b) == len(cell_b) == 1
+        # both slices carry the shared run_id and lie on different pids
+        assert lease_b[0]["args"]["run_id"] == "r1"
+        assert cell_b[0]["args"]["run_id"] == "r1"
+        assert lease_b[0]["pid"] != cell_b[0]["pid"]
+        # timestamps are µs relative to the earliest event (t=100.0)
+        assert lease_b[0]["ts"] == 0.0
+        assert cell_b[0]["ts"] == pytest.approx(0.1e6)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert {c["name"] for c in counters} == {"queue", "progress"}
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants and all(e["s"] == "t" for e in instants)
+
+    def test_mixed_run_ids_rejected(self, tmp_path):
+        cp, _ = _two_process_traces(tmp_path, run_id="r1")
+        other = tmp_path / "other.jsonl"
+        tw = FleetTraceWriter(other, role="worker", run_id="r2")
+        tw.close()
+        with pytest.raises(ValueError, match="one run at a time"):
+            merge_traces([cp, other])
+
+    def test_no_files_rejected(self):
+        with pytest.raises(ValueError, match="no fleet trace"):
+            merge_traces([])
+
+    def test_write_merged_trace(self, tmp_path):
+        cp, wp = _two_process_traces(tmp_path)
+        out = tmp_path / "merged.json"
+        doc = write_merged_trace([cp, wp], out)
+        assert json.loads(out.read_text()) == doc
+
+    def test_merge_trace_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cp, wp = _two_process_traces(tmp_path)
+        out = tmp_path / "merged.json"
+        assert main(["obs", "merge-trace", str(cp), str(wp),
+                     "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "run r1" in printed
+        assert json.loads(out.read_text())["otherData"]["run_id"] == "r1"
+
+
+class TestFleetMetrics:
+    def test_lease_lifecycle_counters(self):
+        m = FleetMetrics("r1")
+        m.on_worker_join("w0")
+        m.on_lease_granted("w0", "eval:4MEM-1:HF-RF", attempt=0)
+        m.on_lease_ended("w0", "done", 2.0)
+        m.on_lease_granted("w0", "eval:4MEM-1:RR", attempt=1)
+        m.on_lease_ended("w0", "failed", 0.5)
+        m.on_lease_granted("w0", "eval:4MEM-1:RR", attempt=2)
+        m.on_lease_ended("w0", "expired", 0.0)
+        snap = m.snapshot(queue={"pending": 4})
+        inst = snap["instruments"]
+        assert inst["fleet.lease.granted"]["value"] == 3
+        assert inst["fleet.lease.completed"]["value"] == 1
+        assert inst["fleet.lease.retried"]["value"] == 2
+        assert inst["fleet.lease.failed"]["value"] == 1
+        assert inst["fleet.lease.expired"]["value"] == 1
+        assert inst["fleet.cell.seconds"]["count"] == 1
+        assert snap["queue"] == {"pending": 4}
+        assert snap["run_id"] == "r1"
+        row = snap["workers"]["w0"]
+        assert row["cells"] == 1
+        assert row["busy_seconds"] == 2.0
+        assert row["current"] is None
+
+    def test_worker_leave_marks_disconnected(self):
+        m = FleetMetrics("r1")
+        m.on_worker_join("w0")
+        m.on_lease_granted("w0", "eval:x", attempt=0)
+        assert m.workers["w0"]["current"] == "eval:x"
+        m.on_worker_leave("w0")
+        table = m.worker_table()
+        assert table["w0"]["connected"] is False
+        assert table["w0"]["current"] is None
+
+    def test_heartbeat_gap_tracked(self):
+        m = FleetMetrics("r1")
+        m.on_worker_join("w0")
+        m.workers["w0"]["last_heartbeat"] -= 3.0  # simulate a silent spell
+        m.on_heartbeat("w0")
+        assert m.workers["w0"]["heartbeat_gap_max"] >= 3.0
+        snap = m.snapshot()
+        assert snap["instruments"]["fleet.worker.heartbeat_gap"]["max"] >= 3.0
+
+
+class TestPrometheus:
+    def _snapshot(self):
+        m = FleetMetrics("r1")
+        m.on_worker_join("w0")
+        m.on_lease_granted("w0", "eval:x", attempt=0)
+        m.on_lease_ended("w0", "done", 1.5)
+        return m.snapshot(queue={"pending": 2, "leased": 0})
+
+    def test_format(self):
+        text = prometheus_text(self._snapshot())
+        lines = text.splitlines()
+        assert "# TYPE repro_fleet_queue_pending gauge" in lines
+        assert "repro_fleet_queue_pending 2" in lines
+        assert "# TYPE repro_fleet_lease_completed_total counter" in lines
+        assert "repro_fleet_lease_completed_total 1" in lines
+        assert "# TYPE repro_fleet_cell_seconds_count gauge" in lines
+        worker = [ln for ln in lines
+                  if ln.startswith("repro_fleet_worker_cells_total{")]
+        assert worker == [
+            'repro_fleet_worker_cells_total{worker="w0",run_id="r1"} 1']
+        # every sample line ends in a parseable number
+        for ln in lines:
+            if ln.startswith("#"):
+                continue
+            float(ln.rsplit(" ", 1)[1])
+
+    def test_write_is_atomic_replace(self, tmp_path):
+        path = tmp_path / "fleet.prom"
+        snap = self._snapshot()
+        write_prometheus(snap, path)
+        assert path.read_text() == prometheus_text(snap)
+        assert not (tmp_path / "fleet.prom.tmp").exists()
+        assert "repro_fleet_uptime_seconds" in path.read_text()
+
+
+class TestFleetObserver:
+    def test_hooks_noop_with_everything_disabled(self):
+        obs = FleetObserver("r1", metrics=False)
+        obs.on_worker_join("w0")
+        obs.on_heartbeat("w0")
+        obs.on_lease_granted("w0", "d1", "eval:x", 0)
+        obs.on_lease_ended("d1", "done")
+        obs.on_worker_leave("w0", executed=1)
+        obs.on_store_probe(True)
+        obs.on_job("submitted", 1, 4)
+        assert obs.status_doc() is None
+
+    def test_snapshot_files(self, tmp_path):
+        obs = FleetObserver("r1", metrics_out=tmp_path / "m.jsonl",
+                            prometheus_out=tmp_path / "f.prom")
+        obs.board_counts = lambda: {"pending": 1}
+        obs.on_worker_join("w0")
+        obs.on_store_probe(False)
+        obs.write_snapshot()
+        obs.write_snapshot()
+        snaps = [json.loads(ln) for ln in
+                 (tmp_path / "m.jsonl").read_text().splitlines()]
+        assert len(snaps) == 2  # JSONL appends
+        assert snaps[-1]["queue"] == {"pending": 1}
+        assert snaps[-1]["instruments"]["fleet.store.misses"]["value"] == 1
+        prom = (tmp_path / "f.prom").read_text()
+        assert "repro_fleet_store_misses_total 1" in prom  # prom rewrites
+
+    def test_trace_slices_and_disconnect(self, tmp_path):
+        p = tmp_path / "coord.jsonl"
+        obs = FleetObserver("r1", metrics=True, trace_out=p)
+        obs.on_worker_join("w0")
+        obs.on_lease_granted("w0", "d1", "eval:x:cfg=abc", 0)
+        obs.on_lease_ended("d1", "done")
+        obs.on_lease_granted("w0", "d2", "eval:y:cfg=abc", 0)
+        # worker vanishes mid-lease: the open slice closes as disconnect
+        obs.on_worker_leave("w0", executed=1)
+        obs.trace.close()
+        doc = read_fleet_trace(p)
+        slices = [(e["name"], e["ph"], e.get("args", {}).get("status"))
+                  for e in doc["events"] if e["name"].startswith("lease ")]
+        assert slices == [
+            ("lease eval:x", "B", None),
+            ("lease eval:x", "E", "done"),
+            ("lease eval:y", "B", None),
+            ("lease eval:y", "E", "disconnect"),
+        ]
+        assert obs.metrics.lease_completed.value == 1
+
+    def test_stale_lease_end_ignored(self):
+        obs = FleetObserver("r1")
+        obs.on_lease_ended("never-granted", "done")  # tolerated, no-op
+        assert obs.metrics.lease_completed.value == 0
+
+    def test_stop_writes_final_snapshot(self, tmp_path):
+        import asyncio
+
+        async def scenario():
+            obs = FleetObserver("r1", metrics_out=tmp_path / "m.jsonl",
+                                snapshot_every=3600.0)
+            obs.start()
+            await obs.stop()
+
+        asyncio.run(scenario())
+        snaps = (tmp_path / "m.jsonl").read_text().splitlines()
+        assert len(snaps) == 1  # run shorter than the interval still lands
+
+
+class TestDashboard:
+    def _status(self):
+        m = FleetMetrics("r1")
+        m.on_worker_join("w0")
+        m.on_lease_granted("w0", "eval:4MEM-1:HF-RF:cfg=abc", attempt=0)
+        m.on_lease_ended("w0", "done", 1.0)
+        m.on_lease_granted("w0", "eval:4MEM-1:RR:cfg=abc", attempt=0)
+        return {"tasks": {"pending": 2, "leased": 1, "done": 1,
+                          "failed": 0},
+                "fleet": m.snapshot()}
+
+    def test_renders_bar_board_and_workers(self):
+        text = render_dashboard(self._status(), done=1, total=4)
+        assert "1/4 cells" in text
+        assert "25.0%" in text
+        assert "board: pending=2  leased=1  done=1  failed=0" in text
+        assert "w0" in text
+        assert "eval:4MEM-1:RR" in text     # current cell, cfg stripped
+        assert ":cfg=" not in text
+
+    def test_renders_without_fleet_section(self):
+        text = render_dashboard({"workers": ["a", "b"]}, done=0, total=0)
+        assert "workers: a, b" in text
+        assert "100.0%" in text  # empty job renders as complete
+
+
+class TestExporterFleetCorrelation:
+    """Exporter edge cases the fleet adds: empty runs and id stamping."""
+
+    def test_empty_run_exports_cleanly_with_fleet_ids(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv(ENV_RUN_ID, "r42")
+        monkeypatch.setenv(ENV_WORKER_ID, "w7")
+        monkeypatch.setenv(ENV_CELL_ID, "c9")
+        tm = Telemetry()  # nothing ran: no samples, no events, no spans
+        p = tmp_path / "empty.jsonl"
+        write_jsonl(tm, p)
+        doc = read_jsonl(p)
+        assert doc["samples"] == [] and doc["events"] == []
+        assert doc["header"]["fleet"] == {
+            "run_id": "r42", "worker_id": "w7", "cell_id": "c9"}
+
+    def test_chrome_trace_carries_fleet_ids(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_RUN_ID, "r42")
+        monkeypatch.delenv(ENV_WORKER_ID, raising=False)
+        monkeypatch.delenv(ENV_CELL_ID, raising=False)
+        p = tmp_path / "trace.json"
+        write_chrome_trace(Telemetry(), p)
+        doc = json.loads(p.read_text())
+        assert doc["otherData"]["fleet"] == {"run_id": "r42"}
+
+    def test_no_fleet_section_outside_fleet(self, tmp_path, monkeypatch):
+        for env in (ENV_RUN_ID, ENV_WORKER_ID, ENV_CELL_ID):
+            monkeypatch.delenv(env, raising=False)
+        p = tmp_path / "plain.jsonl"
+        write_jsonl(Telemetry(), p)
+        assert "fleet" not in read_jsonl(p)["header"]

@@ -1,0 +1,78 @@
+"""Tests for the cProfile-based engine profiling hooks."""
+
+import pytest
+
+from repro.telemetry.profiling import EngineProfiler
+
+
+def _busy(n=2000):
+    return sum(i * i for i in range(n))
+
+
+class TestEngineProfiler:
+    def test_in_memory_summary(self):
+        with EngineProfiler(top_n=5) as prof:
+            _busy()
+        assert prof.pstats_path is None and prof.folded_path is None
+        assert 0 < len(prof.top) <= 5
+        funcs = [e["func"] for e in prof.top]
+        assert any("_busy" in f for f in funcs)
+        # sorted by descending cumulative time
+        cums = [e["cumtime"] for e in prof.top]
+        assert cums == sorted(cums, reverse=True)
+        for e in prof.top:
+            assert set(e) == {"func", "ncalls", "tottime", "cumtime"}
+
+    def test_writes_pstats_and_folded(self, tmp_path):
+        base = tmp_path / "prof"
+        with EngineProfiler(base) as prof:
+            _busy()
+        assert prof.pstats_path == str(base) + ".pstats"
+        assert prof.folded_path == str(base) + ".folded"
+        import pstats
+
+        stats = pstats.Stats(prof.pstats_path)  # loadable dump
+        assert stats.total_calls > 0
+        folded = (tmp_path / "prof.folded").read_text()
+        assert folded
+        for line in folded.splitlines():
+            stack, us = line.rsplit(" ", 1)
+            assert stack
+            assert int(us) > 0  # widths are microseconds, never zero
+        assert any("_busy" in line for line in folded.splitlines())
+
+    def test_exception_skips_artifacts(self, tmp_path):
+        base = tmp_path / "prof"
+        with pytest.raises(RuntimeError):
+            with EngineProfiler(base) as prof:
+                raise RuntimeError("engine blew up")
+        assert not (tmp_path / "prof.pstats").exists()
+        assert not (tmp_path / "prof.folded").exists()
+        assert prof.top is not None  # summary still usable post-mortem
+
+    def test_format_top_table(self):
+        with EngineProfiler() as prof:
+            _busy()
+        table = prof.format_top()
+        lines = table.splitlines()
+        assert lines[0].split() == ["function", "ncalls", "tottime",
+                                    "cumtime"]
+        assert len(lines) == len(prof.top) + 1
+
+    def test_format_top_empty(self):
+        prof = EngineProfiler()
+        with prof:
+            pass
+        if not prof.top:  # nothing measurable ran
+            assert "no calls" in prof.format_top()
+
+    def test_cli_run_profile(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "2MEM-1", "LREQ", "--budget", "3000",
+                     "--profile", str(tmp_path / "p")]) == 0
+        out = capsys.readouterr().out
+        assert "cumtime" in out
+        assert (tmp_path / "p.pstats").exists()
+        assert (tmp_path / "p.folded").exists()

@@ -187,6 +187,73 @@ def test_two_concurrent_jobs_share_one_execution(serial_hfrf):
     assert coord.stats["jobs"] == 2
 
 
+def test_fleet_observability_end_to_end(serial_hfrf, tmp_path, monkeypatch):
+    """Fleet observability on the loopback cluster: the coordinator and
+    workers share one run_id, results stay byte-identical, the merged
+    Chrome timeline pairs lease slices with cell slices, and the
+    correlation env vars do not leak out of the in-process workers."""
+    import os
+
+    from repro.telemetry.fleet import ENV_RUN_ID, FleetObserver, merge_traces
+
+    monkeypatch.delenv(ENV_RUN_ID, raising=False)
+    cells = _hfrf_cells()
+    obs = FleetObserver(
+        trace_out=tmp_path / "coord.fleet.jsonl",
+        metrics_out=tmp_path / "metrics.jsonl",
+        prometheus_out=tmp_path / "fleet.prom",
+        snapshot_every=0.2,
+    )
+
+    async def scenario():
+        coord = Coordinator(port=0, observer=obs)
+        await coord.start()
+        workers = [
+            asyncio.create_task(run_worker(
+                coord.host, coord.port, worker_id=f"w{i}",
+                trace_out=tmp_path / f"w{i}.fleet.jsonl",
+                snapshot_seconds=0.2))
+            for i in range(2)
+        ]
+        try:
+            report = await asyncio.wait_for(
+                submit_cells_async(coord.host, coord.port, cells), TIMEOUT)
+        finally:
+            await coord.stop()
+            for w in workers:
+                try:
+                    await asyncio.wait_for(w, 10)
+                except (ConnectionError, ServiceError,
+                        asyncio.IncompleteReadError):
+                    pass
+        return report, coord
+
+    report, coord = asyncio.run(scenario())
+    _assert_identical(report, serial_hfrf)
+    assert report.run_id == coord.run_id == obs.run_id
+    assert ENV_RUN_ID not in os.environ  # workers restored their env
+
+    snaps = [json.loads(ln) for ln in
+             (tmp_path / "metrics.jsonl").read_text().splitlines()]
+    assert snaps  # stop() wrote at least the final snapshot
+    done = snaps[-1]["instruments"]["fleet.lease.completed"]["value"]
+    assert done == len(cells)
+    assert "repro_fleet_lease_completed_total" in \
+        (tmp_path / "fleet.prom").read_text()
+
+    traces = [tmp_path / "coord.fleet.jsonl",
+              tmp_path / "w0.fleet.jsonl", tmp_path / "w1.fleet.jsonl"]
+    merged = merge_traces(traces)
+    assert merged["otherData"]["run_id"] == obs.run_id
+    events = merged["traceEvents"]
+    leases = [e for e in events
+              if e.get("ph") == "B" and e["name"].startswith("lease ")]
+    cells_b = [e for e in events
+               if e.get("ph") == "B" and e["name"].startswith("cell ")]
+    assert len(leases) == len(cells) and len(cells_b) == len(cells)
+    assert {e["args"]["run_id"] for e in leases + cells_b} == {obs.run_id}
+
+
 # -- fault paths -------------------------------------------------------------------
 
 
