@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Docs-consistency gate: every registered policy is in the handbook.
+
+Imports the policy registry and checks that every name returned by
+``registered_policies()`` — plus the parameterised FIX family — has its
+own ``##`` heading in docs/POLICIES.md.  The handbook is the arena's
+companion document, so a policy that ships without a section there is a
+documentation regression, not a style nit.
+
+Exit status 0 on success, 1 listing the missing names, so CI can gate
+on it.
+
+Run:  PYTHONPATH=src python scripts/check_policy_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+from repro.core.registry import registered_policies
+
+HANDBOOK = Path(__file__).resolve().parent.parent / "docs" / "POLICIES.md"
+
+
+def documented_names(text: str) -> set[str]:
+    """Policy names claimed by ``##`` headings, markdown-escapes removed."""
+    names: set[str] = set()
+    for line in text.splitlines():
+        m = re.match(r"##\s+(\S+)", line)
+        if m:
+            names.add(m.group(1).replace("\\", ""))
+    return names
+
+
+def main() -> int:
+    if not HANDBOOK.exists():
+        print(f"FAIL: {HANDBOOK} does not exist", file=sys.stderr)
+        return 1
+    headings = documented_names(HANDBOOK.read_text())
+
+    required = list(registered_policies())
+    missing = [name for name in required if name not in headings]
+    # The FIX family is parameterised (FIX-3210, FIX-10, ...); the
+    # handbook documents it once under a "FIX-<order>" heading.
+    if not any(h.startswith("FIX-") for h in headings):
+        missing.append("FIX-<order>")
+
+    if missing:
+        print(
+            "FAIL: registered policies missing from docs/POLICIES.md: "
+            + ", ".join(sorted(missing)),
+            file=sys.stderr,
+        )
+        print(
+            "Add a '## <NAME>' section per policy "
+            "(see the handbook's conventions block).",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(
+        f"OK: all {len(required)} registered policies (+ FIX-<order>) "
+        f"documented in {HANDBOOK.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

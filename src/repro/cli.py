@@ -7,6 +7,8 @@ Subcommands mirror the paper's workflow:
 * ``run``       — one multiprogrammed workload under one policy;
 * ``figure``    — regenerate a paper figure (2, 3, 4 or 5);
 * ``table2``    — regenerate Table 2;
+* ``arena``     — rank every registered policy on speedup, fairness and
+                  hardware cost over a mix set (docs/POLICIES.md);
 * ``workloads`` — list the Table 3 mixes;
 * ``policies``  — list the registered scheduling policies.
 
@@ -279,6 +281,27 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _arena_spec(args: argparse.Namespace):
+    mixes = tuple(args.mixes)
+    policies = (tuple(p.upper() for p in args.policies)
+                if args.policies else None)
+    return mixes, policies
+
+
+def _cmd_arena(args: argparse.Namespace) -> int:
+    from repro.experiments.arena import arena_anatomy, format_arena, run_arena
+
+    mixes, policies = _arena_spec(args)
+    ctx = _make_ctx(args)
+    _prewarm(ctx, args, arena=(mixes, policies))
+    print(format_arena(run_arena(ctx, mixes=mixes, policies=policies), mixes))
+    if args.anatomy:
+        print()
+        print(arena_anatomy(ctx, mixes=mixes, policies=policies,
+                            span_sample=args.span_sample))
+    return 0
+
+
 # -- distributed sweep verbs (docs/DISTRIBUTED.md) ---------------------------------
 
 
@@ -398,6 +421,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "figure3": {"figure3": tuple(args.groups)},
         "figure4": {"figure4": True},
         "figure5": {"figure5": True},
+        "arena": {"arena": (tuple(args.mixes), None)},
     }
     cells = plan_cells(ctx, **plan_by_section[args.section])
 
@@ -461,6 +485,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(format_figure4(run_figure4(ctx)))
     elif args.section == "figure5":
         print(format_figure5(run_figure5(ctx)))
+    elif args.section == "arena":
+        from repro.experiments.arena import format_arena, run_arena
+
+        mixes = tuple(args.mixes)
+        print(format_arena(run_arena(ctx, mixes=mixes), mixes))
     return 0
 
 
@@ -562,6 +591,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel(p)
     p.set_defaults(fn=_cmd_table2)
 
+    p = sub.add_parser(
+        "arena",
+        help="rank every registered policy on speedup, fairness and "
+             "hardware cost (docs/POLICIES.md)")
+    _add_common(p)
+    p.add_argument("--mixes", nargs="+", default=["smoke"],
+                   help="mix-set names (smoke, 2core, 4core, 8core, full) "
+                        "and/or explicit Table 3 mix names "
+                        "(default: smoke)")
+    p.add_argument("--policies", nargs="+", default=None, metavar="NAME",
+                   help="restrict the field (default: every registered "
+                        "policy plus FIX-DESC)")
+    p.add_argument("--seeds", type=int, nargs="+", default=[1])
+    p.add_argument("--anatomy", action="store_true",
+                   help="append the per-policy stall-attribution breakdown "
+                        "on the first mix (rerun with span tracing)")
+    p.add_argument("--span-sample", type=_positive_int, default=16,
+                   metavar="N",
+                   help="with --anatomy, trace every Nth request "
+                        "(default 16)")
+    _add_parallel(p)
+    p.set_defaults(fn=_cmd_arena)
+
     p = sub.add_parser("workloads", help="list Table 3 mixes")
     p.set_defaults(fn=_cmd_workloads)
 
@@ -634,10 +686,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("coordinator", metavar="HOST:PORT")
     p.add_argument("section", nargs="?", default="figure2",
                    choices=("table2", "figure2", "figure3", "figure4",
-                            "figure5"))
+                            "figure5", "arena"))
     _add_common(p)
     p.add_argument("--cores", type=int, nargs="+", default=[4])
     p.add_argument("--groups", nargs="+", default=["MEM"])
+    p.add_argument("--mixes", nargs="+", default=["smoke"],
+                   help="arena section: mix-set and/or mix names")
     p.add_argument("--seeds", type=int, nargs="+", default=[1])
     p.add_argument("--status", action="store_true",
                    help="print the coordinator's status and exit")

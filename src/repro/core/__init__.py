@@ -12,12 +12,30 @@ This package implements every scheme evaluated in the paper —
   realised through the quantised hardware priority table of Figure 1
 * **FIX-xxxx** — arbitrary fixed core priority orders (Section 5.2)
 
-plus an online-ME variant of ME-LREQ (the paper's stated future work).
+plus an online-ME variant of ME-LREQ (the paper's stated future work),
+the related-work extensions **FQ**, **STFM** and **BATCH**
+(:mod:`repro.core.extensions`), and two modern successors:
 
-Policies are selected by name through :func:`repro.core.registry.make_policy`.
+* **BLISS** — interference-based blacklisting (arXiv:1504.00390)
+* **CADS** — core-aware dynamic scheduling with adaptive rank intervals
+  (arXiv:1907.07776)
+
+Policies are selected by name through :func:`repro.core.registry.make_policy`;
+each class also reports its scheduling-state cost via
+:meth:`~repro.core.policy.SchedulingPolicy.describe_hardware`
+(:mod:`repro.core.complexity`), which the policy arena prints as its
+hardware-complexity column.  The full per-policy handbook is
+``docs/POLICIES.md``.
 """
 
-from repro.core.extensions import FairQueueingPolicy, StallTimeFairPolicy
+from repro.core.bliss import BlissPolicy
+from repro.core.cads import CadsPolicy
+from repro.core.complexity import HardwareCost
+from repro.core.extensions import (
+    BatchSchedulingPolicy,
+    FairQueueingPolicy,
+    StallTimeFairPolicy,
+)
 from repro.core.fcfs import FcfsPolicy, ReadFirstFcfsPolicy
 from repro.core.fixed import FixedPriorityPolicy
 from repro.core.hit_first import HitFirstReadFirstPolicy
@@ -26,13 +44,23 @@ from repro.core.me import MemoryEfficiencyPolicy
 from repro.core.me_lreq import MeLreqPolicy, OnlineMeLreqPolicy
 from repro.core.policy import SchedulingContext, SchedulingPolicy
 from repro.core.priority_table import PriorityTable
-from repro.core.registry import available_policies, make_policy, register_policy
+from repro.core.registry import (
+    available_policies,
+    make_policy,
+    policy_complexity,
+    register_policy,
+    registered_policies,
+)
 from repro.core.round_robin import RoundRobinPolicy
 
 __all__ = [
+    "BatchSchedulingPolicy",
+    "BlissPolicy",
+    "CadsPolicy",
     "FairQueueingPolicy",
     "FcfsPolicy",
     "FixedPriorityPolicy",
+    "HardwareCost",
     "StallTimeFairPolicy",
     "HitFirstReadFirstPolicy",
     "LeastRequestPolicy",
@@ -46,5 +74,7 @@ __all__ = [
     "SchedulingPolicy",
     "available_policies",
     "make_policy",
+    "policy_complexity",
     "register_policy",
+    "registered_policies",
 ]

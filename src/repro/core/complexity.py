@@ -1,0 +1,65 @@
+"""Hardware-complexity model of the scheduling policies.
+
+The paper argues cost as much as performance: ME-LREQ is only viable
+because its division collapses into the N x 64 x 10-bit SRAM of Figure 1,
+and later schedulers (BLISS, arXiv:1504.00390 §6) make *complexity* an
+explicit evaluation axis next to performance and fairness — critical-path
+length, per-core ranking state, and comparator width all gate what a
+memory controller can actually ship.  This module gives every registered
+policy a comparable cost sheet so the arena
+(:mod:`repro.experiments.arena`) can print a complexity column alongside
+weighted speedup and unfairness.
+
+Accounting conventions (matching how the papers count):
+
+* ``priority_table_bits`` — dedicated SRAM lookup state (the Fig. 1 table
+  for ME-LREQ; zero for everything else here);
+* ``per_core_bits`` — ranking/bookkeeping flip-flops that scale linearly
+  with the core count (blacklist bits, virtual clocks, rank registers);
+* ``global_bits`` — controller-wide registers independent of the core
+  count (rotation pointers, streak counters, interval timers).
+
+Request-queue storage, per-core pending-read counters used only for
+back-pressure, and the row-buffer state held by the DRAM itself are
+controller baseline cost shared by every policy, so they are *excluded*
+— except for LREQ, where the pending counters are the ranking input and
+the papers bill them to the scheme.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["HardwareCost", "log2_bits"]
+
+
+def log2_bits(n: int) -> int:
+    """Bits needed to encode ``n`` distinct values (>= 1)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return max(1, math.ceil(math.log2(n))) if n > 1 else 1
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Scheduling-state cost sheet of one policy on an N-core controller.
+
+    ``priority_table_bits`` is the *total* SRAM size (already multiplied
+    out over cores); ``per_core_bits`` is the cost of ONE core's ranking
+    state.  ``notes`` names what the bits are, for docs/POLICIES.md.
+    """
+
+    priority_table_bits: int = 0
+    per_core_bits: int = 0
+    global_bits: int = 0
+    notes: str = "stateless (age and row state live in the controller)"
+
+    def total_bits(self, num_cores: int) -> int:
+        """Everything the policy adds to the controller, in bits."""
+        return (self.priority_table_bits
+                + self.per_core_bits * num_cores
+                + self.global_bits)
+
+    def total_bytes(self, num_cores: int) -> float:
+        return self.total_bits(num_cores) / 8.0

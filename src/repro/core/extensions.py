@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.controller.request import MemoryRequest
+from repro.core.complexity import HardwareCost
 from repro.core.policy import SchedulingContext, SchedulingPolicy
 from repro.core.registry import register_policy
 from repro.util.rng import RngStream
@@ -86,6 +87,14 @@ class FairQueueingPolicy(SchedulingPolicy):
     def virtual_clock(self, core_id: int) -> int:
         """Expose a core's virtual time (tests/diagnostics)."""
         return self._vclock[core_id]
+
+    @classmethod
+    def describe_hardware(cls, num_cores: int) -> HardwareCost:
+        return HardwareCost(
+            per_core_bits=32,
+            global_bits=32,
+            notes="32b virtual clock/core + system virtual-time floor",
+        )
 
 
 @register_policy("STFM")
@@ -147,6 +156,13 @@ class StallTimeFairPolicy(SchedulingPolicy):
             self._avg_latency[core] += self.alpha * (sample - self._avg_latency[core])
         return self._select_core_then_request(
             candidates, ctx, lambda core: self.slowdown(core)
+        )
+
+    @classmethod
+    def describe_hardware(cls, num_cores: int) -> HardwareCost:
+        return HardwareCost(
+            per_core_bits=16,
+            notes="16b smoothed-latency estimator/core",
         )
 
 
@@ -213,3 +229,13 @@ class BatchSchedulingPolicy(SchedulingPolicy):
         )
         self._batch.discard(chosen.seq)
         return chosen
+
+    @classmethod
+    def describe_hardware(cls, num_cores: int) -> HardwareCost:
+        # One marked bit per queue slot (64-deep read queue) plus a 3-bit
+        # marked-request counter per core for the shortest-job ranking.
+        return HardwareCost(
+            per_core_bits=3,
+            global_bits=64,
+            notes="marked bit/queue slot + 3b marked-count/core",
+        )

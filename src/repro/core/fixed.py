@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.controller.request import MemoryRequest
+from repro.core.complexity import HardwareCost, log2_bits
 from repro.core.policy import SchedulingContext, SchedulingPolicy
 from repro.util.rng import RngStream
 
@@ -55,4 +56,13 @@ class FixedPriorityPolicy(SchedulingPolicy):
     ) -> MemoryRequest:
         return self._select_core_then_request(
             candidates, ctx, lambda core: self._prio[core]
+        )
+
+    @classmethod
+    def describe_hardware(cls, num_cores: int) -> HardwareCost:
+        # A priority-level register per core holding its place in the
+        # fixed order.
+        return HardwareCost(
+            per_core_bits=log2_bits(num_cores),
+            notes="fixed priority-level register/core",
         )

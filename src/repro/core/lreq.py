@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.controller.request import MemoryRequest
+from repro.core.complexity import HardwareCost
 from repro.core.policy import SchedulingContext, SchedulingPolicy
 from repro.core.registry import register_policy
 
@@ -31,4 +32,13 @@ class LeastRequestPolicy(SchedulingPolicy):
         # Higher priority == fewer pending reads, hence the negation.
         return self._select_core_then_request(
             candidates, ctx, lambda core: -ctx.pending_reads(core)
+        )
+
+    @classmethod
+    def describe_hardware(cls, num_cores: int) -> HardwareCost:
+        # The pending-read counters are LREQ's ranking input, so they are
+        # billed to the scheme (6 bits cover the 64-deep queue).
+        return HardwareCost(
+            per_core_bits=6,
+            notes="pending-read counter/core feeds the comparator",
         )

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.controller.request import MemoryRequest
+from repro.core.complexity import HardwareCost
 from repro.core.policy import SchedulingContext, SchedulingPolicy
 from repro.core.registry import register_policy
 from repro.util.rng import RngStream
@@ -52,4 +53,13 @@ class MemoryEfficiencyPolicy(SchedulingPolicy):
     ) -> MemoryRequest:
         return self._select_core_then_request(
             candidates, ctx, lambda core: self.me_values[core]
+        )
+
+    @classmethod
+    def describe_hardware(cls, num_cores: int) -> HardwareCost:
+        # One quantised ME register per core (the 10-bit code width of the
+        # paper's Figure 1 table, depth 1 — no pending-read index needed).
+        return HardwareCost(
+            per_core_bits=10,
+            notes="10b profiled-ME register/core",
         )

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.controller.request import MemoryRequest
+from repro.core.complexity import HardwareCost
 from repro.core.policy import SchedulingContext, SchedulingPolicy
 from repro.core.priority_table import PriorityTable
 from repro.core.registry import register_policy
@@ -84,6 +85,16 @@ class MeLreqPolicy(SchedulingPolicy):
             candidates,
             ctx,
             lambda core: self._priority(core, max(ctx.pending_reads(core), 1)),
+        )
+
+    @classmethod
+    def describe_hardware(cls, num_cores: int) -> HardwareCost:
+        # Figure 1 geometry with the default construction: a 64 x 10-bit
+        # SRAM row per core, indexed by the 6-bit pending-read counter.
+        return HardwareCost(
+            priority_table_bits=num_cores * 64 * 10,
+            per_core_bits=6,
+            notes="64x10b Fig.1 SRAM row/core + pending-read index",
         )
 
 
@@ -172,3 +183,14 @@ class OnlineMeLreqPolicy(MeLreqPolicy):
     def reset(self) -> None:
         self.me_values = tuple([1.0] * max(self.num_cores, 1))
         self._rebuild_table()
+
+    @classmethod
+    def describe_hardware(cls, num_cores: int) -> HardwareCost:
+        # The offline table plus the window accumulators the on-line loop
+        # reads: a 32-bit committed-instruction counter and a 32-bit
+        # bytes-moved counter per core.
+        return HardwareCost(
+            priority_table_bits=num_cores * 64 * 10,
+            per_core_bits=6 + 64,
+            notes="Fig.1 SRAM + 2x32b window counters/core (online ME)",
+        )

@@ -31,6 +31,7 @@ from operator import attrgetter
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.controller.request import MemoryRequest
+from repro.core.complexity import HardwareCost
 from repro.util.rng import RngStream
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -142,6 +143,18 @@ class SchedulingPolicy(ABC):
 
     def reset(self) -> None:
         """Clear any dynamic state between runs; default no-op."""
+
+    @classmethod
+    def describe_hardware(cls, num_cores: int) -> HardwareCost:
+        """Scheduling-state cost of this policy on an ``num_cores`` system.
+
+        The default is the all-zeros sheet — correct for the stateless
+        schemes (FCFS/RF/HF-RF), whose age and row-hit inputs are
+        controller baseline state charged to every policy alike.  Stateful
+        policies override this; the arena prints the result as its
+        hardware-complexity column (see :mod:`repro.core.complexity`).
+        """
+        return HardwareCost()
 
     # -- shared core-selection machinery --------------------------------------
 

@@ -12,9 +12,16 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Type
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.complexity import HardwareCost
     from repro.core.policy import SchedulingPolicy
 
-__all__ = ["register_policy", "make_policy", "available_policies"]
+__all__ = [
+    "register_policy",
+    "make_policy",
+    "available_policies",
+    "registered_policies",
+    "policy_complexity",
+]
 
 _REGISTRY: dict[str, Type["SchedulingPolicy"]] = {}
 
@@ -36,6 +43,32 @@ def register_policy(name: str) -> Callable[[type], type]:
 def available_policies() -> list[str]:
     """Registered policy names (FIX-* is available but parameterised)."""
     return sorted(_REGISTRY) + ["FIX-<order>"]
+
+
+def registered_policies() -> list[str]:
+    """Only the concrete registry names, without the FIX-* placeholder."""
+    return sorted(_REGISTRY)
+
+
+def policy_complexity(name: str, num_cores: int) -> "HardwareCost":
+    """Hardware cost sheet of policy ``name`` on an ``num_cores`` system.
+
+    Resolves classes without instantiating (``ME``/``ME-LREQ`` need no
+    profile here); ``FIX-<digits>`` and the generic ``FIX-<order>`` /
+    ``FIX-DESC`` spellings all map to :class:`FixedPriorityPolicy`.
+    """
+    from repro.core.fixed import FixedPriorityPolicy
+
+    key = name.upper()
+    if key.startswith("FIX"):
+        return FixedPriorityPolicy.describe_hardware(num_cores)
+    try:
+        cls = _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+        ) from None
+    return cls.describe_hardware(num_cores)
 
 
 def make_policy(name: str, **kwargs) -> "SchedulingPolicy":

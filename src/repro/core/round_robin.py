@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.controller.request import MemoryRequest
+from repro.core.complexity import HardwareCost, log2_bits
 from repro.core.policy import SchedulingContext, SchedulingPolicy, hit_first_oldest
 from repro.core.registry import register_policy
 from repro.util.rng import RngStream
@@ -52,3 +53,10 @@ class RoundRobinPolicy(SchedulingPolicy):
                 self._next_core = (core + 1) % self.num_cores
                 return hit_first_oldest(by_core[core], ctx)
         raise ValueError("select_read called with no candidates")
+
+    @classmethod
+    def describe_hardware(cls, num_cores: int) -> HardwareCost:
+        return HardwareCost(
+            global_bits=log2_bits(num_cores),
+            notes="single rotation pointer",
+        )

@@ -24,6 +24,13 @@ from repro.experiments.ablations import (
     ablation_table_bits,
     ablation_write_drain,
 )
+from repro.experiments.arena import (
+    ARENA_MIX_SETS,
+    ArenaRow,
+    arena_anatomy,
+    format_arena,
+    run_arena,
+)
 from repro.experiments.cache import CacheStats, ResultCache
 from repro.experiments.cells import Cell, CellKey
 from repro.experiments.extensions_study import (
@@ -46,6 +53,8 @@ from repro.experiments.parallel import (
 from repro.experiments.table2 import run_table2
 
 __all__ = [
+    "ARENA_MIX_SETS",
+    "ArenaRow",
     "CacheStats",
     "Cell",
     "CellFailure",
@@ -62,8 +71,11 @@ __all__ = [
     "ablation_split_controllers",
     "ablation_table_bits",
     "ablation_write_drain",
+    "arena_anatomy",
     "default_jobs",
+    "format_arena",
     "format_extension_study",
+    "run_arena",
     "merge_into",
     "plan_cells",
     "run_cells",

@@ -170,14 +170,18 @@ def plan_cells(
     figure4: bool = False,
     figure5: bool = False,
     ablations: bool = False,
+    arena: tuple[tuple[str, ...], tuple[str, ...] | None] | None = None,
 ) -> list[Cell]:
     """Enumerate every cell the requested sections will consume.
 
     Mirrors the figure harnesses exactly (each module exports its own
     ``*_cells`` enumerator); deduplicates across sections the same way
-    the context memo would.
+    the context memo would.  ``arena`` is ``(mix_names, policies)`` with
+    ``policies=None`` meaning the full registry — matching
+    :func:`repro.experiments.arena.run_arena`.
     """
     from repro.experiments.ablations import ablation_cell_specs
+    from repro.experiments.arena import arena_cells
     from repro.experiments.figure2 import figure2_cells
     from repro.experiments.figure3 import figure3_cells
     from repro.experiments.figure4 import figure4_cells
@@ -212,6 +216,9 @@ def plan_cells(
         add_pairs(figure4_cells())
     if figure5:
         add_pairs(figure5_cells())
+    if arena is not None:
+        mix_names, policies = arena
+        add_pairs(arena_cells(mix_names, policies))
     if ablations:
         for spec in ablation_cell_specs(ctx):
             cell = _custom_cell(ctx, spec)
