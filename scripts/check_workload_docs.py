@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Docs-consistency gate: the cloud workload family is in the handbook.
+
+Imports the cloud service/arrival/mix catalogues and checks that every
+service code, every arrival model, and every registered cloud mix has
+its own ``##``/``###`` heading (or, for mixes, at least a literal
+mention) in docs/WORKLOADS.md.  A service or mix that ships without a
+section there is a documentation regression, not a style nit.
+
+Exit status 0 on success, 1 listing the missing names, so CI can gate
+on it.
+
+Run:  PYTHONPATH=src python scripts/check_workload_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+from repro.workloads.cloud import ARRIVALS, CLOUD_MIXES, SERVICES
+
+HANDBOOK = Path(__file__).resolve().parent.parent / "docs" / "WORKLOADS.md"
+
+
+def documented_names(text: str) -> set[str]:
+    """Names claimed by ``##``/``###`` headings, markdown-escapes removed."""
+    names: set[str] = set()
+    for line in text.splitlines():
+        m = re.match(r"##+\s+(\S+)", line)
+        if m:
+            names.add(m.group(1).replace("\\", "").rstrip(":"))
+    return names
+
+
+def main() -> int:
+    if not HANDBOOK.exists():
+        print(f"FAIL: {HANDBOOK} does not exist", file=sys.stderr)
+        return 1
+    text = HANDBOOK.read_text()
+    headings = documented_names(text)
+
+    missing: list[str] = []
+    for svc in SERVICES:
+        if svc.code not in headings:
+            missing.append(f"service {svc.code} ({svc.name})")
+    for arrival in ARRIVALS:
+        if arrival not in headings:
+            missing.append(f"arrival model {arrival}")
+    for mix in CLOUD_MIXES:
+        if mix.name not in text:
+            missing.append(f"mix {mix.name}")
+
+    if missing:
+        print(
+            "FAIL: cloud workload entries missing from docs/WORKLOADS.md: "
+            + ", ".join(sorted(missing)),
+            file=sys.stderr,
+        )
+        print(
+            "Add a '## <CODE>' section per service, a heading per arrival "
+            "model, and list every registered CLD mix.",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(
+        f"OK: all {len(SERVICES)} services, {len(ARRIVALS)} arrival models "
+        f"and {len(CLOUD_MIXES)} cloud mixes documented in {HANDBOOK.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,9 @@ Subcommands mirror the paper's workflow:
 * ``table2``    — regenerate Table 2;
 * ``arena``     — rank every registered policy on speedup, fairness and
                   hardware cost over a mix set (docs/POLICIES.md);
-* ``workloads`` — list the Table 3 mixes;
+* ``cloud``     — tail-latency / SLO table for the open-loop cloud
+                  workload family (docs/WORKLOADS.md);
+* ``workloads`` — list the Table 3 mixes and the cloud mixes;
 * ``policies``  — list the registered scheduling policies.
 
 Distributed sweeps (docs/DISTRIBUTED.md):
@@ -289,16 +291,39 @@ def _arena_spec(args: argparse.Namespace):
 
 
 def _cmd_arena(args: argparse.Namespace) -> int:
-    from repro.experiments.arena import arena_anatomy, format_arena, run_arena
+    from repro.experiments.arena import (
+        arena_anatomy,
+        format_arena,
+        format_arena_per_mix,
+        run_arena,
+        run_arena_per_mix,
+    )
 
     mixes, policies = _arena_spec(args)
     ctx = _make_ctx(args)
     _prewarm(ctx, args, arena=(mixes, policies))
-    print(format_arena(run_arena(ctx, mixes=mixes, policies=policies), mixes))
+    if args.per_mix:
+        print(format_arena_per_mix(
+            run_arena_per_mix(ctx, mixes=mixes, policies=policies)))
+    else:
+        print(format_arena(
+            run_arena(ctx, mixes=mixes, policies=policies), mixes))
     if args.anatomy:
         print()
         print(arena_anatomy(ctx, mixes=mixes, policies=policies,
                             span_sample=args.span_sample))
+    return 0
+
+
+def _cmd_cloud(args: argparse.Namespace) -> int:
+    from repro.experiments.cloud import format_cloud, run_cloud_table
+
+    mixes = tuple(args.mixes)
+    policies = (tuple(p.upper() for p in args.policies)
+                if args.policies else None)
+    ctx = _make_ctx(args)
+    _prewarm(ctx, args, cloud=(mixes, policies))
+    print(format_cloud(run_cloud_table(ctx, mixes=mixes, policies=policies)))
     return 0
 
 
@@ -422,6 +447,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "figure4": {"figure4": True},
         "figure5": {"figure5": True},
         "arena": {"arena": (tuple(args.mixes), None)},
+        "cloud": {"cloud": (tuple(args.mixes), None)},
     }
     cells = plan_cells(ctx, **plan_by_section[args.section])
 
@@ -490,6 +516,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
         mixes = tuple(args.mixes)
         print(format_arena(run_arena(ctx, mixes=mixes), mixes))
+    elif args.section == "cloud":
+        from repro.experiments.cloud import format_cloud, run_cloud_table
+
+        print(format_cloud(run_cloud_table(ctx, mixes=tuple(args.mixes))))
     return 0
 
 
@@ -513,9 +543,18 @@ def _cmd_obs_merge(args: argparse.Namespace) -> int:
 
 
 def _cmd_workloads(_args: argparse.Namespace) -> int:
+    from repro.workloads.cloud import CLOUD_MIXES, service_by_code
+
     for m in WORKLOAD_MIXES:
         apps = ", ".join(a.name for a in m.apps())
         print(f"{m.name:<8} [{m.codes}] {apps}")
+    for cm in CLOUD_MIXES:
+        parts = ", ".join(
+            service_by_code(c).name if c.isupper() else
+            next(a.name for a in cm.batch_apps() if a.code == c)
+            for c in cm.codes
+        )
+        print(f"{cm.name:<8} [{cm.codes}] {parts}")
     return 0
 
 
@@ -604,6 +643,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restrict the field (default: every registered "
                         "policy plus FIX-DESC)")
     p.add_argument("--seeds", type=int, nargs="+", default=[1])
+    p.add_argument("--per-mix", action="store_true", dest="per_mix",
+                   help="per-mix drill-down table (no averaging over "
+                        "mixes) instead of the aggregate ranking")
     p.add_argument("--anatomy", action="store_true",
                    help="append the per-policy stall-attribution breakdown "
                         "on the first mix (rerun with span tracing)")
@@ -614,7 +656,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel(p)
     p.set_defaults(fn=_cmd_arena)
 
-    p = sub.add_parser("workloads", help="list Table 3 mixes")
+    p = sub.add_parser(
+        "cloud",
+        help="tail-latency / SLO table for the open-loop cloud workload "
+             "family (docs/WORKLOADS.md)")
+    _add_common(p)
+    p.add_argument("--mixes", nargs="+", default=["smoke"],
+                   help="cloud mix-set names (smoke, 2core, 4core, 8core, "
+                        "full) and/or explicit cloud mix names "
+                        "(default: smoke)")
+    p.add_argument("--policies", nargs="+", default=None, metavar="NAME",
+                   help="restrict the field (default: every registered "
+                        "policy plus FIX-DESC)")
+    p.add_argument("--seeds", type=int, nargs="+", default=[1])
+    _add_parallel(p)
+    p.set_defaults(fn=_cmd_cloud)
+
+    p = sub.add_parser("workloads",
+                       help="list Table 3 mixes and cloud mixes")
     p.set_defaults(fn=_cmd_workloads)
 
     p = sub.add_parser("policies", help="list scheduling policies")
@@ -686,12 +745,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("coordinator", metavar="HOST:PORT")
     p.add_argument("section", nargs="?", default="figure2",
                    choices=("table2", "figure2", "figure3", "figure4",
-                            "figure5", "arena"))
+                            "figure5", "arena", "cloud"))
     _add_common(p)
     p.add_argument("--cores", type=int, nargs="+", default=[4])
     p.add_argument("--groups", nargs="+", default=["MEM"])
     p.add_argument("--mixes", nargs="+", default=["smoke"],
-                   help="arena section: mix-set and/or mix names")
+                   help="arena/cloud sections: mix-set and/or mix names")
     p.add_argument("--seeds", type=int, nargs="+", default=[1])
     p.add_argument("--status", action="store_true",
                    help="print the coordinator's status and exit")

@@ -26,13 +26,25 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.arena import (
     ARENA_MIX_SETS,
+    ArenaMixRow,
     ArenaRow,
     arena_anatomy,
     format_arena,
+    format_arena_per_mix,
     run_arena,
+    run_arena_per_mix,
 )
 from repro.experiments.cache import CacheStats, ResultCache
 from repro.experiments.cells import Cell, CellKey
+from repro.experiments.cloud import (
+    CLOUD_MIX_SETS,
+    CloudResult,
+    CloudRow,
+    ServiceStats,
+    format_cloud,
+    run_cloud,
+    run_cloud_table,
+)
 from repro.experiments.extensions_study import (
     format_extension_study,
     run_extension_study,
@@ -54,16 +66,21 @@ from repro.experiments.table2 import run_table2
 
 __all__ = [
     "ARENA_MIX_SETS",
+    "ArenaMixRow",
     "ArenaRow",
+    "CLOUD_MIX_SETS",
     "CacheStats",
     "Cell",
     "CellFailure",
     "CellKey",
+    "CloudResult",
+    "CloudRow",
     "ExperimentContext",
     "Figure2Row",
     "ParallelReport",
     "PolicyOutcome",
     "ResultCache",
+    "ServiceStats",
     "ablation_lookahead",
     "ablation_online_phases",
     "ablation_page_policy",
@@ -74,8 +91,13 @@ __all__ = [
     "arena_anatomy",
     "default_jobs",
     "format_arena",
+    "format_arena_per_mix",
+    "format_cloud",
     "format_extension_study",
     "run_arena",
+    "run_arena_per_mix",
+    "run_cloud",
+    "run_cloud_table",
     "merge_into",
     "plan_cells",
     "run_cells",

@@ -45,6 +45,7 @@ from repro.workloads.mixes import Mix, mixes_for, workload_by_name
 
 __all__ = [
     "ARENA_MIX_SETS",
+    "ArenaMixRow",
     "ArenaRow",
     "arena_anatomy",
     "arena_cells",
@@ -52,7 +53,9 @@ __all__ = [
     "arena_policies",
     "concrete_policy",
     "format_arena",
+    "format_arena_per_mix",
     "run_arena",
+    "run_arena_per_mix",
 ]
 
 #: named mix sets the CLI accepts; "smoke" is the CI-sized pair
@@ -201,6 +204,93 @@ def format_arena(rows: list[ArenaRow], mixes: tuple[str, ...] = ()) -> str:
             f"{r.unfairness:>7.2f} {r.max_slowdown:>8.2f} "
             f"{r.avg_read_latency:>8.1f} {r.table_bits:>8d} "
             f"{r.state_bytes:>8.1f} {r.fingerprint:>12}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ArenaMixRow:
+    """One policy's scores on one mix (the per-mix drill-down)."""
+
+    mix: str
+    policy: str
+    smt_speedup: float  # seed-averaged Snavely speedup on this mix
+    unfairness: float  # seed-averaged max/min-slowdown ratio
+    max_slowdown: float  # worst per-core slowdown over this mix's seeds
+    avg_read_latency: float  # seed-averaged mean read latency
+    fingerprint: str  # digest over this mix's float-hex per-core results
+
+
+def run_arena_per_mix(
+    ctx: ExperimentContext,
+    mixes: tuple[str, ...] = ("smoke",),
+    policies: tuple[str, ...] | None = None,
+) -> list[ArenaMixRow]:
+    """The per-mix drill-down behind ``repro arena --per-mix``.
+
+    Same cells as :func:`run_arena` (the planner/caches are shared), but
+    nothing is averaged over mixes: each (mix, policy) pair gets its own
+    row, ranked within the mix by speedup descending, name ascending —
+    the table that shows *where* a policy's average comes from.
+    """
+    pols = policies if policies is not None else arena_policies()
+    resolved = arena_mixes(mixes)
+    if not resolved:
+        raise ValueError("arena needs at least one mix")
+    rows: list[ArenaMixRow] = []
+    for mix in resolved:
+        mix_rows: list[ArenaMixRow] = []
+        for label in pols:
+            name = concrete_policy(label, mix)
+            out = ctx.outcome(mix, name)
+            worst = 0.0
+            digest = hashlib.sha256()
+            for seed in ctx.seeds:
+                r = ctx.run(mix, name, seed)
+                single = ctx.single_ipcs(mix, seed)
+                worst = max(worst, max(slowdowns(r.ipcs(), single)))
+                digest.update(f"{mix.name}:{seed}".encode())
+                for core in r.per_core:
+                    digest.update(core.ipc.hex().encode())
+                    digest.update(core.avg_read_latency.hex().encode())
+            mix_rows.append(
+                ArenaMixRow(
+                    mix=mix.name,
+                    policy=label.upper(),
+                    smt_speedup=out.smt_speedup,
+                    unfairness=out.unfairness,
+                    max_slowdown=worst,
+                    avg_read_latency=out.avg_read_latency,
+                    fingerprint=digest.hexdigest()[:12],
+                )
+            )
+        mix_rows.sort(key=lambda r: (-r.smt_speedup, r.policy))
+        rows.extend(mix_rows)
+    return rows
+
+
+def format_arena_per_mix(rows: list[ArenaMixRow]) -> str:
+    """Render the per-mix drill-down (byte-stable, grouped by mix)."""
+    if not rows:
+        return "(no data)"
+    lines = [
+        "== policy arena: per-mix drill-down ==",
+        f"{'#':>2} {'mix':<8} {'policy':<15} {'speedup':>8} {'unfair':>7} "
+        f"{'maxslow':>8} {'avg lat':>8} {'fingerprint':>12}",
+    ]
+    rank = 0
+    last_mix: str | None = None
+    for r in rows:
+        if r.mix != last_mix:
+            if last_mix is not None:
+                lines.append("")
+            last_mix = r.mix
+            rank = 0
+        rank += 1
+        lines.append(
+            f"{rank:>2} {r.mix:<8} {r.policy:<15} {r.smt_speedup:>8.3f} "
+            f"{r.unfairness:>7.2f} {r.max_slowdown:>8.2f} "
+            f"{r.avg_read_latency:>8.1f} {r.fingerprint:>12}"
         )
     return "\n".join(lines)
 

@@ -134,8 +134,39 @@ def _dec_core(d: dict) -> CoreResult:
     )
 
 
+def _enc_service(s) -> dict:
+    return {
+        "code": s.code, "name": s.name, "core_id": s.core_id, "slo": s.slo,
+        "latencies": list(s.latencies), "viol_count": s.viol_count,
+        "viol_latency_sum": s.viol_latency_sum,
+        "viol_components": list(s.viol_components),
+    }
+
+
+def _dec_service(d: dict):
+    from repro.experiments.cloud import ServiceStats
+
+    return ServiceStats(
+        code=d["code"], name=d["name"], core_id=d["core_id"], slo=d["slo"],
+        latencies=tuple(d["latencies"]), viol_count=d["viol_count"],
+        viol_latency_sum=d["viol_latency_sum"],
+        viol_components=tuple(d["viol_components"]),
+    )
+
+
 def encode_payload(obj) -> dict:
     """Serialise a cell result to a JSON-safe dict (floats exact)."""
+    from repro.experiments.cloud import CloudResult
+
+    if isinstance(obj, CloudResult):
+        return {
+            "type": "CloudResult",
+            "mix_name": obj.mix_name, "policy_name": obj.policy_name,
+            "services": [_enc_service(s) for s in obj.services],
+            "batch": [_enc_core(c) for c in obj.batch],
+            "end_cycle": obj.end_cycle,
+            "row_hit_rate": _f(obj.row_hit_rate),
+        }
     if isinstance(obj, MeProfile):
         return {"type": "MeProfile", "app": obj.app, "code": obj.code,
                 "ipc": _f(obj.ipc), "bw_gbps": _f(obj.bw_gbps),
@@ -171,6 +202,16 @@ def decode_payload(doc: dict):
             end_cycle=doc["end_cycle"],
             row_hit_rate=_uf(doc["row_hit_rate"]),
             drain_entries=doc["drain_entries"],
+        )
+    if kind == "CloudResult":
+        from repro.experiments.cloud import CloudResult
+
+        return CloudResult(
+            mix_name=doc["mix_name"], policy_name=doc["policy_name"],
+            services=tuple(_dec_service(s) for s in doc["services"]),
+            batch=tuple(_dec_core(c) for c in doc["batch"]),
+            end_cycle=doc["end_cycle"],
+            row_hit_rate=_uf(doc["row_hit_rate"]),
         )
     raise ValueError(f"unknown cached payload type {kind!r}")
 

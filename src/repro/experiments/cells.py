@@ -26,7 +26,13 @@ Cell kinds mirror the three run shapes the experiment harnesses use:
 ``custom``
     an ablation run: a policy with constructor arguments and/or a
     non-default configuration or lookahead — the body of
-    :meth:`ExperimentContext.run_custom`.
+    :meth:`ExperimentContext.run_custom`;
+``cloud``
+    one cloud mix (open-loop services + batch cores) on the
+    datacenter-class machine — the body of
+    :meth:`ExperimentContext.cloud_run`.  The key's ``config_digest``
+    names the *derived* cloud machine, so cloud cells never collide
+    with eval cells run from the same base configuration.
 
 Fault injection (tests only): set ``REPRO_PARALLEL_FAULT`` to a substring
 of a cell key and the executor raises before simulating on the first
@@ -53,6 +59,7 @@ __all__ = [
     "profile_cell_key",
     "single_cell_key",
     "custom_cell_key",
+    "cloud_cell_key",
     "policy_from_spec",
     "execute_cell",
 ]
@@ -73,7 +80,7 @@ class CellKey:
     budget invalidates exactly the ME-dependent entries.
     """
 
-    kind: str  # "profile" | "single" | "eval" | "custom"
+    kind: str  # "profile" | "single" | "eval" | "custom" | "cloud"
     workload: str  # mix name, or the app code for profile/single cells
     policy: str  # canonical policy name ("" for profile/single cells)
     seed: int
@@ -189,6 +196,29 @@ def custom_cell_key(mix_name: str, policy: str, policy_args: tuple,
     )
 
 
+def cloud_cell_key(mix_name: str, policy: str, seed: int, inst_budget: int,
+                   warmup: int, lookahead: int, config: SystemConfig,
+                   profile_budget: int) -> CellKey:
+    """Cloud co-run (the :meth:`ExperimentContext.cloud_run` body).
+
+    ``config`` is the base machine; the digest is taken over the derived
+    datacenter-class configuration.  ``profile_budget`` matters only for
+    ME-family policies, whose *batch-core* ranks come from profiling
+    (service cores carry pinned ranks in their profiles).
+    """
+    from repro.workloads.cloud import cloud_mix_by_name, cloud_system_config
+
+    policy = policy.upper()
+    mix = cloud_mix_by_name(mix_name)
+    return CellKey(
+        kind="cloud", workload=mix.name, policy=policy, seed=seed,
+        inst_budget=inst_budget, warmup=warmup,
+        config_digest=cloud_system_config(config, mix.num_cores).digest(),
+        lookahead=lookahead,
+        profile_budget=profile_budget if policy in ME_FAMILY else 0,
+    )
+
+
 @dataclass(frozen=True)
 class Cell:
     """One schedulable simulation: identity plus execution payload.
@@ -249,6 +279,7 @@ def execute_cell(cell: Cell, attempt: int = 0):
     * ``profile`` -> :class:`MeProfile`
     * ``single``  -> :class:`CoreResult`
     * ``eval`` / ``custom`` -> :class:`RunResult`
+    * ``cloud``   -> :class:`~repro.experiments.cloud.CloudResult`
 
     Pure function of the cell (given a resolved ``me_values``): no
     telemetry, no shared state — safe to run in any process.
@@ -296,6 +327,23 @@ def execute_cell(cell: Cell, attempt: int = 0):
             mix, policy, inst_budget=key.inst_budget, seed=key.seed,
             warmup_insts=key.warmup, config=cell.config,
             lookahead=key.lookahead,
+        )
+
+    if key.kind == "cloud":
+        from repro.experiments.cloud import run_cloud
+        from repro.workloads.cloud import cloud_mix_by_name
+
+        mix = cloud_mix_by_name(key.workload)
+        me = cell.me_values  # batch-core ME ranks (batch-core order)
+        if me is None and key.policy in ME_FAMILY:
+            profiler = MeProfiler(
+                key.profile_budget, seed=key.seed, config=cell.config
+            )
+            me = tuple(profiler.profile(app).me for app in mix.batch_apps())
+        return run_cloud(
+            mix, key.policy, inst_budget=key.inst_budget, seed=key.seed,
+            warmup_insts=key.warmup, config=cell.config,
+            lookahead=key.lookahead, me_values=me,
         )
 
     raise ValueError(f"unknown cell kind {key.kind!r}")

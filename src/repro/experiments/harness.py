@@ -28,6 +28,7 @@ from repro.core.policy import SchedulingPolicy
 from repro.core.registry import make_policy
 from repro.experiments.cells import (
     CellKey,
+    cloud_cell_key,
     custom_cell_key,
     eval_cell_key,
     policy_from_spec,
@@ -102,6 +103,7 @@ class ExperimentContext:
         self._profilers: dict[int, MeProfiler] = {}
         self._runs: dict[tuple[str, str, int], RunResult] = {}
         self._custom_runs: dict[CellKey, RunResult] = {}
+        self._cloud_runs: dict[tuple[str, str, int], object] = {}
 
     # -- profiling --------------------------------------------------------------
 
@@ -143,6 +145,43 @@ class ExperimentContext:
                 else:
                     self.cache.put(key, prof.single_core_result(app))
         return prof.single_ipcs(mix)
+
+    def batch_me(self, apps, seed: int) -> tuple[float, ...]:
+        """ME ranks for a list of batch applications (cloud batch cores),
+        read-through to the disk cache like :meth:`me_values`."""
+        prof = self.profiler(seed)
+        if self.cache is not None:
+            for app in apps:
+                if prof.has_profile(app.code):
+                    continue
+                key = profile_cell_key(
+                    app.code, seed, self.profile_budget, self.config
+                )
+                hit = self.cache.get(key)
+                if hit is not None:
+                    prof.preload_profile(hit)
+                else:
+                    self.cache.put(key, prof.profile(app))
+        return tuple(prof.profile(app).me for app in apps)
+
+    def batch_single_ipcs(self, apps, seed: int) -> tuple[float, ...]:
+        """Single-core eval IPCs for a list of batch applications (the
+        cloud table's speedup denominator), cache read-through like
+        :meth:`single_ipcs`."""
+        prof = self.profiler(seed)
+        if self.cache is not None:
+            for app in apps:
+                if prof.has_single(app.code):
+                    continue
+                key = single_cell_key(
+                    app.code, seed, self.profile_budget, self.config
+                )
+                hit = self.cache.get(key)
+                if hit is not None:
+                    prof.preload_single(app.code, hit)
+                else:
+                    self.cache.put(key, prof.single_core_result(app))
+        return tuple(prof.single_core_ipc(app) for app in apps)
 
     # -- evaluation runs -----------------------------------------------------------
 
@@ -232,6 +271,53 @@ class ExperimentContext:
         self._custom_runs[cell_key] = result
         return result
 
+    def _cloud_key(self, mix_name: str, policy: str, seed: int) -> CellKey:
+        return cloud_cell_key(
+            mix_name, policy, seed, self.inst_budget, self.warmup_insts,
+            self.lookahead, self.config, self.profile_budget,
+        )
+
+    def cloud_run(self, workload, policy: str, seed: int):
+        """One cloud co-run (memoised; read-through to the disk cache).
+
+        ``workload`` is a cloud mix name or :class:`CloudMix`; returns a
+        :class:`~repro.experiments.cloud.CloudResult`.
+        """
+        from repro.experiments.cloud import run_cloud
+        from repro.workloads.cloud import cloud_mix_by_name
+
+        mix = (
+            cloud_mix_by_name(workload) if isinstance(workload, str) else workload
+        )
+        key = (mix.name, policy.upper(), seed)
+        hit = self._cloud_runs.get(key)
+        if hit is not None:
+            return hit
+        cell_key = None
+        if self.cache is not None:
+            cell_key = self._cloud_key(mix.name, policy, seed)
+            cached = self.cache.get(cell_key)
+            if cached is not None:
+                self._cloud_runs[key] = cached
+                return cached
+        me = None
+        if policy.upper() in ("ME", "ME-LREQ"):
+            me = self.batch_me(mix.batch_apps(), seed)
+        result = run_cloud(
+            mix,
+            policy,
+            inst_budget=self.inst_budget,
+            seed=seed,
+            warmup_insts=self.warmup_insts,
+            config=self.config,
+            lookahead=self.lookahead,
+            me_values=me,
+        )
+        if cell_key is not None:
+            self.cache.put(cell_key, result)
+        self._cloud_runs[key] = result
+        return result
+
     # -- memo preloading (parallel runner) ------------------------------------------
 
     def preload_run(self, mix_name: str, policy: str, seed: int,
@@ -244,6 +330,11 @@ class ExperimentContext:
     def preload_custom(self, cell_key: CellKey, result: RunResult) -> None:
         """Install one ablation result under its full cell key."""
         self._custom_runs.setdefault(cell_key, result)
+
+    def preload_cloud(self, mix_name: str, policy: str, seed: int,
+                      result) -> None:
+        """Install one cloud co-run result (parallel runner merge)."""
+        self._cloud_runs.setdefault((mix_name, policy.upper(), seed), result)
 
     def outcome(self, workload: str | Mix, policy: str) -> PolicyOutcome:
         """Seed-averaged metrics for one (workload, policy) cell."""

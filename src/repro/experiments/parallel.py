@@ -45,6 +45,7 @@ from repro.experiments.cells import (
     ME_FAMILY,
     Cell,
     CellKey,
+    cloud_cell_key,
     custom_cell_key,
     eval_cell_key,
     execute_cell,
@@ -139,6 +140,23 @@ def _eval_cell(ctx, mix_name: str, policy: str, seed: int) -> Cell:
     return Cell(key=key, config=ctx.config, me_deps=deps)
 
 
+def _cloud_cell(ctx, mix_name: str, policy: str, seed: int) -> Cell:
+    from repro.workloads.cloud import cloud_mix_by_name
+
+    mix = cloud_mix_by_name(mix_name)
+    key = cloud_cell_key(mix.name, policy, seed, ctx.inst_budget,
+                         ctx.warmup_insts, ctx.lookahead, ctx.config,
+                         ctx.profile_budget)
+    deps = ()
+    if key.policy in ME_FAMILY:
+        # Batch cores only: service cores carry pinned ME ranks.
+        deps = tuple(
+            profile_cell_key(app.code, seed, ctx.profile_budget, ctx.config)
+            for app in mix.batch_apps()
+        )
+    return Cell(key=key, config=ctx.config, me_deps=deps)
+
+
 def _custom_cell(ctx, spec) -> Cell:
     """Build the cell for one ablation spec (see ``ablation_cell_specs``)."""
     mix = workload_by_name(spec.workload)
@@ -171,6 +189,7 @@ def plan_cells(
     figure5: bool = False,
     ablations: bool = False,
     arena: tuple[tuple[str, ...], tuple[str, ...] | None] | None = None,
+    cloud: tuple[tuple[str, ...], tuple[str, ...] | None] | None = None,
 ) -> list[Cell]:
     """Enumerate every cell the requested sections will consume.
 
@@ -178,7 +197,9 @@ def plan_cells(
     ``*_cells`` enumerator); deduplicates across sections the same way
     the context memo would.  ``arena`` is ``(mix_names, policies)`` with
     ``policies=None`` meaning the full registry — matching
-    :func:`repro.experiments.arena.run_arena`.
+    :func:`repro.experiments.arena.run_arena`; ``cloud`` has the same
+    shape over cloud mix-set names — matching
+    :func:`repro.experiments.cloud.run_cloud_table`.
     """
     from repro.experiments.ablations import ablation_cell_specs
     from repro.experiments.arena import arena_cells
@@ -219,6 +240,21 @@ def plan_cells(
     if arena is not None:
         mix_names, policies = arena
         add_pairs(arena_cells(mix_names, policies))
+    if cloud is not None:
+        from repro.experiments.cloud import cloud_cells
+        from repro.workloads.cloud import cloud_mix_by_name
+
+        mix_names, policies = cloud
+        for mix_name, policy in cloud_cells(mix_names, policies):
+            mix = cloud_mix_by_name(mix_name)
+            for seed in ctx.seeds:
+                cell = _cloud_cell(ctx, mix_name, policy, seed)
+                add(cell)
+                for dep in cell.me_deps:
+                    add(Cell(key=dep, config=ctx.config))
+                # the table's batch-speedup column needs the baselines
+                for app in mix.batch_apps():
+                    add(_single_cell(ctx, app.code, seed))
     if ablations:
         for spec in ablation_cell_specs(ctx):
             cell = _custom_cell(ctx, spec)
@@ -383,7 +419,7 @@ def run_cells(
 
     rounds = (
         [c for c in ordered if c.key.kind in ("profile", "single")],
-        [c for c in ordered if c.key.kind in ("eval", "custom")],
+        [c for c in ordered if c.key.kind in ("eval", "custom", "cloud")],
     )
     try:
         for round_cells in rounds:
@@ -494,6 +530,21 @@ def merge_into(ctx, report: ParallelReport) -> int:
                     f"cell {key.key_str()} does not match context"
                 )
             ctx.preload_custom(key, payload)
+        elif key.kind == "cloud":
+            from repro.workloads.cloud import cloud_mix_by_name, cloud_system_config
+
+            mix = cloud_mix_by_name(key.workload)
+            expected = cloud_system_config(ctx.config, mix.num_cores).digest()
+            if (key.inst_budget != ctx.inst_budget
+                    or key.warmup != ctx.warmup_insts
+                    or key.lookahead != ctx.lookahead
+                    or key.config_digest != expected
+                    or (key.policy in ME_FAMILY
+                        and key.profile_budget != ctx.profile_budget)):
+                raise ValueError(
+                    f"cell {key.key_str()} does not match context"
+                )
+            ctx.preload_cloud(key.workload, key.policy, key.seed, payload)
         else:
             raise ValueError(f"unknown cell kind {key.kind!r}")
         installed += 1

@@ -6,19 +6,35 @@
 * :mod:`repro.metrics.memory_efficiency` — profiling of Eq. 1's
   ``ME = IPC_single / BW_single`` with result caching;
 * :mod:`repro.metrics.stats` — generic accumulators (mean/max histograms)
-  used by ablation experiments.
+  used by ablation experiments;
+* :mod:`repro.metrics.tails` — exact integer-cycle tail percentiles
+  (p50/p99/p999) and SLO-violation counts for the cloud workload family.
 """
 
 from repro.metrics.memory_efficiency import MeProfiler, memory_efficiency
 from repro.metrics.speedup import slowdowns, smt_speedup, unfairness
 from repro.metrics.stats import OnlineStat, WindowedCounter
+from repro.metrics.tails import (
+    PERCENTILES,
+    TailStats,
+    count_violations,
+    nearest_rank,
+    percentile,
+    tail_stats,
+)
 
 __all__ = [
     "MeProfiler",
     "OnlineStat",
+    "PERCENTILES",
+    "TailStats",
     "WindowedCounter",
+    "count_violations",
     "memory_efficiency",
+    "nearest_rank",
+    "percentile",
     "slowdowns",
     "smt_speedup",
+    "tail_stats",
     "unfairness",
 ]

@@ -15,6 +15,18 @@ verbatim.
 """
 
 from repro.workloads.builder import custom_mix, random_mix, random_workload_suite
+from repro.workloads.cloud import (
+    CLOUD_MIXES,
+    SERVICES,
+    CloudMix,
+    CloudStream,
+    ServiceProfile,
+    cloud_mix_by_name,
+    cloud_system_config,
+    is_cloud_codes,
+    make_cloud_trace,
+    service_by_code,
+)
 from repro.workloads.mixes import WORKLOAD_MIXES, Mix, mixes_for, workload_by_name
 from repro.workloads.spec2000 import APPS, AppProfile, app_by_code, app_by_name
 from repro.workloads.synthetic import SyntheticApp, make_trace
@@ -22,15 +34,25 @@ from repro.workloads.synthetic import SyntheticApp, make_trace
 __all__ = [
     "APPS",
     "AppProfile",
+    "CLOUD_MIXES",
+    "CloudMix",
+    "CloudStream",
     "Mix",
+    "SERVICES",
+    "ServiceProfile",
     "SyntheticApp",
     "WORKLOAD_MIXES",
     "app_by_code",
     "app_by_name",
+    "cloud_mix_by_name",
+    "cloud_system_config",
     "custom_mix",
+    "is_cloud_codes",
+    "make_cloud_trace",
     "make_trace",
     "mixes_for",
     "random_mix",
     "random_workload_suite",
+    "service_by_code",
     "workload_by_name",
 ]

@@ -20,15 +20,28 @@ _MEM_CODES = "".join(sorted(a.code for a in APPS if a.klass == "MEM"))
 _ILP_CODES = "".join(sorted(a.code for a in APPS if a.klass == "ILP"))
 
 
-def custom_mix(codes: str, name: str | None = None) -> Mix:
+def custom_mix(codes: str, name: str | None = None):
     """Build a mix from explicit application codes.
+
+    Lowercase codes are the closed-loop Table 2 batch applications;
+    any UPPERCASE code marks an open-loop cloud service
+    (:mod:`repro.workloads.cloud`) and the result is a
+    :class:`~repro.workloads.cloud.CloudMix` co-run instead.
 
     >>> custom_mix("kc").apps()[0].name
     'mcf'
+    >>> custom_mix("Kb").group
+    'CLOUD'
     """
+    from repro.workloads.cloud import CloudMix, is_cloud_codes
+
+    n = len(codes)
+    if is_cloud_codes(codes):
+        cloud = CloudMix(name=name or f"{n}CUSTOM-{codes}", codes=codes)
+        cloud.validate()  # validates every service and batch code
+        return cloud
     for c in codes:
         app_by_code(c)  # validate early
-    n = len(codes)
     mix = Mix(name=name or f"{n}CUSTOM-{codes}", codes=codes)
     mix.validate()
     return mix

@@ -94,3 +94,53 @@ class TestByteStability:
     def test_arena_cells_resolve_fix_per_mix(self):
         pairs = arena_cells(("2MEM-1", "4MEM-1"), (FIX_LABEL,))
         assert pairs == [("2MEM-1", "FIX-10"), ("4MEM-1", "FIX-3210")]
+
+
+class TestPerMixDrillDown:
+    """``repro arena --per-mix`` reuses the aggregate arena's cells and
+    must obey the same byte-stability contract."""
+
+    MIXES = ("2MEM-1", "2MIX-1")
+
+    @pytest.fixture(scope="class")
+    def per_mix_rows(self):
+        from repro.experiments import run_arena_per_mix
+
+        return run_arena_per_mix(small_ctx(), mixes=self.MIXES)
+
+    def test_rows_grouped_and_ranked_within_mix(self, per_mix_rows):
+        from repro.experiments.arena import arena_policies
+
+        mixes_seen = [r.mix for r in per_mix_rows]
+        # grouped: each mix's rows are contiguous, in requested order
+        order = list(dict.fromkeys(mixes_seen))
+        assert order == list(self.MIXES)
+        for mix in self.MIXES:
+            block = [r for r in per_mix_rows if r.mix == mix]
+            assert len(block) == len(arena_policies())
+            key = [(-r.smt_speedup, r.policy) for r in block]
+            assert key == sorted(key)
+
+    def test_fingerprints_are_per_mix(self, per_mix_rows):
+        seen = {}
+        for r in per_mix_rows:
+            # the same policy must not carry the same fingerprint on two
+            # different mixes (the digest covers the mix's own runs)
+            assert seen.setdefault((r.policy, r.fingerprint), r.mix) == r.mix
+
+    def test_parallel_prewarm_is_byte_identical(self, per_mix_rows):
+        from repro.experiments import format_arena_per_mix, run_arena_per_mix
+
+        serial_table = format_arena_per_mix(per_mix_rows)
+        assert "drill-down" in serial_table
+
+        ctx = small_ctx()
+        cells = plan_cells(ctx, arena=(self.MIXES, None))
+        report = run_cells(cells, jobs=2)
+        assert not report.failures, report.failure_report()
+        merge_into(ctx, report)
+        parallel_table = format_arena_per_mix(
+            run_arena_per_mix(ctx, mixes=self.MIXES)
+        )
+
+        assert parallel_table == serial_table

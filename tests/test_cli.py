@@ -41,7 +41,9 @@ class TestCommands:
         assert main(["workloads"]) == 0
         out = capsys.readouterr().out
         assert "4MEM-1" in out and "wupwise" in out
-        assert out.count("\n") == 36
+        assert "4CLD-1" in out and "kvstore" in out
+        # 36 Table 3 mixes + 5 cloud mixes
+        assert out.count("\n") == 41
 
     def test_profile_one_app(self, capsys):
         assert main(["profile", "--app", "eon", "--budget", "3000"]) == 0

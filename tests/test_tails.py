@@ -1,0 +1,110 @@
+"""Exact nearest-rank tail percentiles: hand-built cases and properties.
+
+The cloud tables stand on these numbers, so the math is pinned the
+hard way: hand-computed expectations on tiny sets (ties, n < 100,
+single-request streams) plus property tests over random integer
+populations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.tails import (
+    PERCENTILES,
+    TailStats,
+    count_violations,
+    nearest_rank,
+    percentile,
+    tail_stats,
+)
+
+
+class TestNearestRank:
+    def test_four_values_median(self):
+        # rank = ceil(4 * 50/100) = 2 -> second value
+        assert nearest_rank([10, 20, 30, 40], 50, 100) == 20
+
+    def test_p99_small_n_is_max(self):
+        # rank = ceil(n * 99/100) = n for every n < 100 ...
+        for n in (1, 2, 10, 99):
+            xs = list(range(1, n + 1))
+            assert nearest_rank(xs, 99, 100) == n
+        # ... and exactly the 99th (second-to-last) element at n = 100
+        assert nearest_rank(list(range(1, 101)), 99, 100) == 99
+
+    def test_p999_below_1000_samples_is_max(self):
+        # ceil(999 * 999/1000) = 999: still the max at n = 999 ...
+        xs = list(range(999))
+        assert nearest_rank(xs, 999, 1000) == 998
+        # ... and the 999th (second-to-last) element at n = 1000
+        xs = list(range(1000))
+        assert nearest_rank(xs, 999, 1000) == 998
+
+    def test_single_request_stream(self):
+        for num, den in PERCENTILES:
+            assert nearest_rank([7], num, den) == 7
+
+    def test_ties_index_the_multiset(self):
+        xs = [5, 5, 5, 9]
+        assert nearest_rank(xs, 50, 100) == 5
+        assert nearest_rank(xs, 99, 100) == 9
+
+    def test_hand_computed_hundred(self):
+        xs = list(range(1, 101))  # 1..100
+        assert nearest_rank(xs, 50, 100) == 50
+        assert nearest_rank(xs, 99, 100) == 99
+        assert nearest_rank(xs, 999, 1000) == 100
+
+    def test_exact_integer_rank_no_float_rounding(self):
+        # ceil(29 * 0.29...) style cases where float math is off by one:
+        # n=70, p=0.29 -> exact ceil(70*29/100)=ceil(20.3)=21
+        xs = list(range(1, 71))
+        assert nearest_rank(xs, 29, 100) == 21
+
+    def test_empty_and_bad_fractions_raise(self):
+        with pytest.raises(ValueError):
+            nearest_rank([], 50, 100)
+        with pytest.raises(ValueError):
+            nearest_rank([1], 0, 100)
+        with pytest.raises(ValueError):
+            nearest_rank([1], 101, 100)
+
+    def test_percentile_sorts_a_copy(self):
+        xs = [40, 10, 30, 20]
+        assert percentile(xs, 50, 100) == 20
+        assert xs == [40, 10, 30, 20]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=300))
+    def test_percentile_is_a_member_and_monotone(self, xs):
+        vals = [percentile(xs, num, den) for num, den in PERCENTILES]
+        for v in vals:
+            assert v in xs
+        assert vals == sorted(vals)  # p50 <= p99 <= p999
+        assert vals[-1] <= max(xs)
+
+
+class TestViolations:
+    def test_strictly_greater(self):
+        # finishing exactly on the deadline meets the SLO
+        assert count_violations([100, 200, 300], 200) == 1
+        assert count_violations([200, 200], 200) == 0
+
+    def test_negative_slo_rejected(self):
+        with pytest.raises(ValueError):
+            count_violations([1], -1)
+
+
+class TestTailStats:
+    def test_summary_fields(self):
+        ts = tail_stats([30, 10, 20])
+        assert ts == TailStats(count=3, total=60, p50=20, p99=30,
+                               p999=30, worst=30)
+        assert ts.mean == 20.0
+
+    def test_empty_population_raises(self):
+        with pytest.raises(ValueError):
+            tail_stats([])

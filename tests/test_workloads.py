@@ -170,20 +170,51 @@ class TestSyntheticStream:
             assert op.gap >= 0
             assert op.addr >= CORE_ADDR_STRIDE  # inside core 0's space
 
+    @pytest.mark.parametrize("loop", ["closed", "open"])
+    def test_stream_determinism_both_loop_families(self, loop):
+        if loop == "closed":
+            def mk():
+                return make_trace(app_by_code("k"), seed=5, phase="eval")
+        else:
+            from repro.workloads.cloud import make_cloud_trace, service_by_code
+
+            def mk():
+                return make_cloud_trace(service_by_code("K"), seed=5, core_id=0)
+        a, b = mk(), mk()
+        assert [a.next_op() for _ in range(200)] == [
+            b.next_op() for _ in range(200)
+        ]
+
 
 class TestBuilder:
-    def test_custom_mix(self):
+    @pytest.mark.parametrize(
+        "codes,loop,names",
+        [
+            ("kcb", "closed", ["mcf", "swim", "wupwise"]),
+            ("Kb", "open", ["kvstore", "wupwise"]),
+        ],
+        ids=["closed", "open"],
+    )
+    def test_custom_mix(self, codes, loop, names):
         from repro.workloads.builder import custom_mix
 
-        mix = custom_mix("kcb")
-        assert mix.num_cores == 3
-        assert [a.name for a in mix.apps()] == ["mcf", "swim", "wupwise"]
+        mix = custom_mix(codes)
+        assert mix.num_cores == len(codes)
+        if loop == "closed":
+            assert type(mix).__name__ == "Mix"
+            assert [a.name for a in mix.apps()] == names
+        else:
+            assert type(mix).__name__ == "CloudMix"
+            got = [s.name for s in mix.services()]
+            got += [a.name for a in mix.batch_apps()]
+            assert got == names
 
-    def test_custom_mix_validates_codes(self):
+    @pytest.mark.parametrize("codes", ["k?", "K?"], ids=["closed", "open"])
+    def test_custom_mix_validates_codes(self, codes):
         from repro.workloads.builder import custom_mix
 
         with pytest.raises(KeyError):
-            custom_mix("k?")
+            custom_mix(codes)
 
     def test_random_mem_mix_all_mem(self):
         from repro.workloads.builder import random_mix
